@@ -1,0 +1,99 @@
+"""Ablation A1 — quarantine-policy thresholds (DESIGN.md §5).
+
+The §6 tradeoff dial: a lax policy quarantines fast (low latency, more
+false positives if signals are noisy); a strict confession-gated policy
+quarantines late but precisely.  We sweep the quarantine threshold over
+the same event history and report precision/recall/latency.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.figures import render_table
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import EventKind
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.detection.signals import SignalAnalyzer
+
+
+def _synthetic_history(seed=0, n_cores=400, n_bad=6, horizon=90.0):
+    """Event stream: bad cores signal often, background signals rarely."""
+    rng = np.random.default_rng(seed)
+    bad = {f"m{idx:03d}/c00" for idx in range(n_bad)}
+    events = []  # (time, core, kind)
+    for core in bad:
+        for _ in range(int(rng.poisson(8))):
+            events.append((float(rng.uniform(0, horizon)), core,
+                           EventKind.SELF_CHECK_FAILURE))
+    for _ in range(int(rng.poisson(120))):
+        core = f"m{rng.integers(n_cores):03d}/c{rng.integers(4):02d}"
+        events.append((float(rng.uniform(0, horizon)), core,
+                       EventKind.CRASH))
+    events.sort()
+    return events, bad
+
+
+def _evaluate(threshold: float, events, bad):
+    analyzer = SignalAnalyzer(tracker=SuspicionTracker())
+    policy = QuarantinePolicy(
+        PolicyConfig(
+            monitor_threshold=min(1.0, threshold),
+            retest_threshold=min(2.0, threshold),
+            quarantine_threshold=threshold,
+            require_confession_below=threshold,
+        ),
+        fleet_cores=2000,
+    )
+    quarantine_time = {}
+    from repro.core.events import CeeEvent, Reporter
+
+    for t, core, kind in events:
+        analyzer.ingest(CeeEvent(
+            time_days=t, machine_id=core.split("/")[0], core_id=core,
+            kind=kind, reporter=Reporter.AUTOMATED,
+        ))
+        score = analyzer.tracker.score(core, t)
+        decision = policy.decide(core, score)
+        if decision.action in (Action.QUARANTINE_CORE,
+                               Action.QUARANTINE_MACHINE):
+            quarantine_time.setdefault(core, t)
+    flagged = set(quarantine_time)
+    tp = len(flagged & bad)
+    fp = len(flagged - bad)
+    precision = tp / len(flagged) if flagged else 1.0
+    recall = tp / len(bad)
+    latencies = [quarantine_time[c] for c in flagged & bad]
+    latency = sum(latencies) / len(latencies) if latencies else float("nan")
+    return precision, recall, latency, fp
+
+
+def run_threshold_ablation(seed=0):
+    events, bad = _synthetic_history(seed)
+    rows = []
+    results = {}
+    for threshold in (2.0, 4.0, 6.0, 10.0, 16.0):
+        precision, recall, latency, fp = _evaluate(threshold, events, bad)
+        results[threshold] = (precision, recall, latency, fp)
+        rows.append([
+            f"{threshold:.0f}", f"{precision:.2f}", f"{recall:.2f}",
+            f"{latency:.0f}d", fp,
+        ])
+    return results, render_table(
+        ["quarantine threshold", "precision", "recall",
+         "mean days to quarantine", "false positives"],
+        rows,
+        title="A1: policy-threshold ablation (§6 tradeoff)",
+    )
+
+
+def test_a1_policy_thresholds(benchmark, show):
+    results, rendered = benchmark.pedantic(
+        run_threshold_ablation, rounds=1, iterations=1
+    )
+    show(rendered)
+    strict = results[16.0]
+    lax = results[2.0]
+    # Strict policies are at least as precise; lax ones recall faster.
+    assert strict[0] >= lax[0]
+    assert lax[1] >= strict[1]

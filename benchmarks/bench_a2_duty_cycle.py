@@ -1,0 +1,58 @@
+"""Ablation A2 — online screening duty cycle (DESIGN.md §5).
+
+§4: detection quality "depends on ... how many cycles devoted to
+testing".  Sweep the spare-cycle budget; measure confession probability
+per screen against a population of sampled defects and the compute
+bill.
+"""
+
+import numpy as np
+
+from repro.analysis.economics import ScreeningPolicy
+from repro.analysis.figures import render_table
+from repro.silicon.catalog import sample_defect
+from repro.silicon.environment import NOMINAL
+from repro.workloads.generator import blended_op_mix
+
+
+def run_duty_cycle_ablation(seed=0, n_defects=150):
+    rng = np.random.default_rng(seed)
+    mix = blended_op_mix()
+    rates = []
+    for index in range(n_defects):
+        defect = sample_defect(rng, f"a2/d{index}")
+        rate = defect.mean_rate(mix, NOMINAL, age_days=1000.0)
+        if rate > 0:
+            rates.append(rate)
+    rows = []
+    results = {}
+    for duty_cycle in (0.001, 0.005, 0.02, 0.08):
+        corpus_ops = duty_cycle * 5e6
+        policy = ScreeningPolicy(period_days=7.0, corpus_ops=corpus_ops)
+        caught_weekly = sum(
+            1 for r in rates if policy.detection_probability(r) > 0.5
+        )
+        results[duty_cycle] = caught_weekly / len(rates)
+        rows.append([
+            f"{duty_cycle:.1%}",
+            f"{corpus_ops:.0e}",
+            f"{caught_weekly / len(rates):.2f}",
+            f"{policy.compute_cost_per_coreday():.1e}",
+        ])
+    return results, render_table(
+        ["duty cycle", "ops/screen", "fraction caught within ~1 screen",
+         "compute cost fraction"],
+        rows,
+        title="A2: duty-cycle ablation (cycles devoted to testing)",
+    )
+
+
+def test_a2_duty_cycle(benchmark, show):
+    results, rendered = benchmark.pedantic(
+        run_duty_cycle_ablation, rounds=1, iterations=1
+    )
+    show(rendered)
+    duties = sorted(results)
+    coverage = [results[d] for d in duties]
+    assert coverage == sorted(coverage)  # more cycles, more coverage
+    assert coverage[-1] > coverage[0]

@@ -1,0 +1,63 @@
+"""Ablation A3 — the TMR voter itself runs on a core (DESIGN.md §5).
+
+§7: "this relies on the voting mechanism itself being reliable."  We
+compare TMR with a host-side (reliable) voter against TMR whose digest
+comparisons execute on a defective core.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import render_table
+from repro.mitigation.redundancy import RedundancyExhaustedError, TmrExecutor
+from repro.silicon.core import Core
+from repro.silicon.defects import OperandPatternDefect
+from repro.silicon.units import Op
+from repro.workloads.generator import spec_by_name
+
+
+def run_voter_ablation(seed=0, n_units=60):
+    pool = [Core(f"a3/c{i}", rng=np.random.default_rng(10 + i))
+            for i in range(3)]
+    # A comparator defect that sometimes reports unequal digests equal.
+    bad_voter = Core(
+        "a3/voter",
+        defects=[OperandPatternDefect(
+            "voter", mask=0x3, value=0x1, error=1, base_rate=0.9,
+            ops=(Op.BEQ,),
+        )],
+        rng=np.random.default_rng(seed),
+    )
+    spec = spec_by_name("hashing")
+    outcomes = {}
+    rows = []
+    for label, voter in (("host voter", None), ("defective voter", bad_voter)):
+        anomalies = 0
+        failures = 0
+        for unit in range(n_units):
+            executor = TmrExecutor(pool, voter_core=voter)
+            try:
+                outcome = executor.run(spec.build(seed + unit))
+            except RedundancyExhaustedError:
+                failures += 1
+                continue
+            # With three healthy workers any detected "corruption" is a
+            # voter artifact.
+            anomalies += outcome.detected_corruption
+        outcomes[label] = (anomalies, failures)
+        rows.append([label, anomalies, failures])
+    return outcomes, render_table(
+        ["voter", "spurious disagreements", "vote failures"],
+        rows,
+        title="A3: voter-reliability ablation (healthy workers)",
+    )
+
+
+def test_a3_voter_reliability(benchmark, show):
+    outcomes, rendered = benchmark.pedantic(
+        run_voter_ablation, rounds=1, iterations=1
+    )
+    show(rendered)
+    host_anomalies, host_failures = outcomes["host voter"]
+    bad_anomalies, bad_failures = outcomes["defective voter"]
+    assert host_anomalies == 0 and host_failures == 0
+    assert bad_anomalies + bad_failures > 0  # broken voting is visible

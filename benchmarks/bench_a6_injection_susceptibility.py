@@ -1,0 +1,77 @@
+"""A6 — fault-injection susceptibility of sorting (§9 / ref [11]).
+
+"That prior work evaluated algorithms using fault injection, a
+technique that does not require access to a large fleet" — the Guan et
+al. [11] methodology on our own sorts: single-fault injection sweeps
+over (a) an unchecked sort, (b) the naive self-checked sort, (c) the
+resilient sort with cross-core verification.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import render_table
+from repro.mitigation.resilient.sorting import verify_sorted
+from repro.silicon.core import Core
+from repro.silicon.injector import InjectionCampaign, InjectionOutcome
+from repro.workloads.base import WorkloadResult, digest_ints
+from repro.workloads.sorting import is_sorted_on, merge_sort
+
+VALUES = [int(x) for x in np.random.default_rng(7).integers(0, 2**40, 120)]
+
+
+def _unchecked(core) -> WorkloadResult:
+    output = merge_sort(core, VALUES)
+    return WorkloadResult(name="sort", output_digest=digest_ints(output))
+
+
+def _self_checked(core) -> WorkloadResult:
+    output = merge_sort(core, VALUES)
+    return WorkloadResult(
+        name="sort+check",
+        output_digest=digest_ints(output),
+        app_detected=not is_sorted_on(core, output),
+    )
+
+
+def _resilient(core) -> WorkloadResult:
+    output = merge_sort(core, VALUES)
+    verifier = Core("a6/verifier", rng=np.random.default_rng(1))
+    return WorkloadResult(
+        name="sort+resilient",
+        output_digest=digest_ints(output),
+        app_detected=not verify_sorted(verifier, VALUES, output),
+    )
+
+
+def run_susceptibility(n_sites=120, seed=3):
+    rows = []
+    sdc = {}
+    for label, work in (("unchecked", _unchecked),
+                        ("naive self-check", _self_checked),
+                        ("resilient verify", _resilient)):
+        campaign = InjectionCampaign(work)
+        report = campaign.run(n_sites=n_sites, rng=np.random.default_rng(seed))
+        sdc[label] = report.sdc_fraction
+        rows.append([
+            label,
+            f"{report.fraction(InjectionOutcome.BENIGN):.1%}",
+            f"{report.fraction(InjectionOutcome.DETECTED):.1%}",
+            f"{report.fraction(InjectionOutcome.CRASHED):.1%}",
+            f"{report.sdc_fraction:.1%}",
+        ])
+    return sdc, render_table(
+        ["sort variant", "benign", "detected", "crashed", "SILENT (SDC)"],
+        rows,
+        title=f"A6: single-fault injection, {n_sites} sites per variant",
+    )
+
+
+def test_a6_injection_susceptibility(benchmark, show):
+    sdc, rendered = benchmark.pedantic(
+        run_susceptibility, rounds=1, iterations=1
+    )
+    show(rendered)
+    assert sdc["unchecked"] > 0
+    assert sdc["resilient verify"] == 0.0
+    assert sdc["resilient verify"] <= sdc["naive self-check"] <= \
+        sdc["unchecked"] + 1e-9

@@ -1,0 +1,109 @@
+"""A7 — selective replication of critical computations (§9).
+
+"Perhaps compilers could ... automatically replicate just these
+computations."  Cost/protection frontier: unprotected vs selective
+(critical stages only) vs full TMR.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import render_table
+from repro.mitigation.selective import (
+    SelectiveReplicator,
+    Stage,
+    full_tmr_baseline,
+    unprotected_baseline,
+)
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.units import FunctionalUnit, Op
+from repro.workloads.base import WorkloadResult, digest_ints
+
+
+def _stage_work(seed, length=80):
+    def work(core):
+        total = seed
+        for value in range(length):
+            total = core.execute(Op.ADD, total, value ^ seed)
+            total = core.execute(Op.XOR, total, value * 3 + 1)
+        return WorkloadResult(name=f"s{seed}", output_digest=digest_ints([total]))
+    return work
+
+
+def _stages(n=24, critical_every=6):
+    return [
+        Stage(
+            name=f"s{i}",
+            work=_stage_work(i + 1),
+            critical=None,
+            blast_radius=50_000 if i % critical_every == 0 else 1,
+        )
+        for i in range(n)
+    ]
+
+
+def _pool(seed=0):
+    pool = [Core(f"a7/c{i}", rng=np.random.default_rng(40 + i))
+            for i in range(5)]
+    pool[0] = Core(
+        "a7/bad",
+        defects=[StuckBitDefect("d", bit=37, base_rate=2e-3,
+                                unit=FunctionalUnit.ALU)],
+        rng=np.random.default_rng(seed),
+    )
+    return pool
+
+
+def run_selective_ablation(seed=0):
+    stages = _stages()
+    reference = [
+        stage.work(Core("a7/ref", rng=np.random.default_rng(77)))
+        for stage in stages
+    ]
+
+    def wrong_count(results):
+        return sum(
+            r.output_digest != e.output_digest
+            for r, e in zip(results, reference)
+        )
+
+    unprot = unprotected_baseline(_pool(seed)[0], stages)
+    replicator = SelectiveReplicator(_pool(seed), criticality_threshold=2.0)
+    selective = replicator.run_pipeline(stages)
+    critical_indices = [i for i, s in enumerate(stages)
+                        if s.blast_radius > 1]
+    critical_wrong = sum(
+        selective[i].output_digest != reference[i].output_digest
+        for i in critical_indices
+    )
+    full, full_executions = full_tmr_baseline(_pool(seed), stages)
+
+    rows = [
+        ["unprotected", wrong_count(unprot), "-", "1.00x"],
+        ["selective (critical only)", wrong_count(selective),
+         critical_wrong, f"{replicator.stats.cost_factor:.2f}x"],
+        ["full TMR", wrong_count(full), 0,
+         f"{full_executions / len(stages):.2f}x"],
+    ]
+    return {
+        "unprotected_wrong": wrong_count(unprot),
+        "selective_wrong": wrong_count(selective),
+        "selective_critical_wrong": critical_wrong,
+        "selective_cost": replicator.stats.cost_factor,
+        "full_cost": full_executions / len(stages),
+        "full_wrong": wrong_count(full),
+    }, render_table(
+        ["strategy", "wrong stages", "wrong CRITICAL stages", "cost"],
+        rows,
+        title="A7: selective replication (4 of 24 stages critical)",
+    )
+
+
+def test_a7_selective_replication(benchmark, show):
+    result, rendered = benchmark.pedantic(
+        run_selective_ablation, rounds=1, iterations=1
+    )
+    show(rendered)
+    assert result["selective_critical_wrong"] == 0  # the §9 promise
+    assert result["full_wrong"] == 0
+    assert 1.0 < result["selective_cost"] < result["full_cost"]

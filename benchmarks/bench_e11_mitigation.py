@@ -1,0 +1,16 @@
+"""E11 — mitigation ladder: unprotected vs checkpoint vs DMR vs TMR (§7)."""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_mitigation_ladder
+
+
+def test_e11_mitigation_ladder(benchmark, show):
+    n_units = 15 if is_ci_scale() else 40
+    result = benchmark.pedantic(
+        run_mitigation_ladder, kwargs=dict(n_units=n_units),
+        rounds=1, iterations=1,
+    )
+    show(result["rendered"])
+    assert result["escaped_unprotected"] > 0
+    assert result["escaped_dmr"] == 0
+    assert result["escaped_tmr"] == 0

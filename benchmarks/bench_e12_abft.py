@@ -1,0 +1,15 @@
+"""E12 — SDC-resilient algorithms [11, 27]: ABFT matmul, LU, sorting."""
+
+from repro.analysis.experiments import run_abft
+
+
+def test_e12_abft(benchmark, show):
+    result = benchmark.pedantic(
+        run_abft, kwargs=dict(n_trials=8), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+    assert result["vanilla_wrong"] > 0
+    assert result["abft_silent_wrong"] == 0
+    assert result["plain_sort_wrong"]
+    assert result["resilient_sort_ok"]
+    assert result["lu_detections"] > 0

@@ -1,0 +1,12 @@
+"""E13 — complaint concentration: §6's report-service decision rule."""
+
+from repro.analysis.experiments import run_report_concentration
+
+
+def test_e13_report_concentration(benchmark, show):
+    result = benchmark.pedantic(
+        run_report_concentration, rounds=1, iterations=1
+    )
+    show(result["rendered"])
+    assert result["top_suspect"] == "m0042/c07"
+    assert "m0042/c07" in result["candidates"]

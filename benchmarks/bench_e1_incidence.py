@@ -1,0 +1,21 @@
+"""E1 — incidence: 'a few mercurial cores per several thousand machines'."""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_incidence
+
+
+def test_e1_incidence(benchmark, show):
+    n_machines = 3000 if is_ci_scale() else 12000
+    horizon = 120.0 if is_ci_scale() else 270.0
+    result = benchmark.pedantic(
+        run_incidence,
+        kwargs=dict(n_machines=n_machines, horizon_days=horizon),
+        rounds=1, iterations=1,
+    )
+    show(result["rendered"])
+    # Band contract: "a few per several thousand" = order 0.2-5 per 1000.
+    assert 0.1 <= result["truth_per_kmachine"] <= 5.0
+    # Detection never exceeds truth, and what is flagged is precise.
+    assert result["detected_per_kmachine"] <= result["truth_per_kmachine"]
+    if result["detected_per_kmachine"] > 0:
+        assert result["precision"] >= 0.8

@@ -1,0 +1,18 @@
+"""E2 — symptom classes of §2, observed over sampled mercurial cores."""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_symptoms
+from repro.core.taxonomy import Symptom
+
+
+def test_e2_symptom_classes(benchmark, show):
+    n_cores = 12 if is_ci_scale() else 40
+    result = benchmark.pedantic(
+        run_symptoms, kwargs=dict(n_cores=n_cores), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+    counts = result["counts"]
+    # Shape contract: multiple §2 classes manifest, including the
+    # worst one (never detected) — the reason the paper exists.
+    assert sum(counts.values()) > 0
+    assert counts[Symptom.WRONG_ANSWER_UNDETECTED] > 0

@@ -1,0 +1,13 @@
+"""E3 — the deterministic self-inverting AES miscomputation (§2)."""
+
+from repro.analysis.experiments import run_aes_case
+
+
+def test_e3_self_inverting_aes(benchmark, show):
+    result = benchmark.pedantic(run_aes_case, rounds=1, iterations=1)
+    show(result["rendered"])
+    assert result["ciphertext_differs"]
+    assert result["same_core_roundtrip_identity"]
+    assert result["cross_core_garbage"]
+    assert result["corpus_catches"]
+    assert result["checked_cipher_catches"]

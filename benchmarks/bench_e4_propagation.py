@@ -1,0 +1,13 @@
+"""E4 — corruption propagation: bit flips, DB replicas, GC data loss."""
+
+from repro.analysis.experiments import run_propagation
+
+
+def test_e4_propagation(benchmark, show):
+    result = benchmark.pedantic(run_propagation, rounds=1, iterations=1)
+    show(result["rendered"])
+    assert len(result["flip_positions"]) == 1  # a *particular* bit position
+    errors = result["replica_errors"]
+    assert errors[1] > 0 and errors[0] == errors[2] == 0.0
+    assert result["gc_lost_blocks"] > 0
+    assert result["late_detected_losses"] > 0

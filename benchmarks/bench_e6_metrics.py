@@ -1,0 +1,14 @@
+"""E6 — corruption rates vary by many orders of magnitude (§2)."""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_rate_spread
+
+
+def test_e6_rate_spread(benchmark, show):
+    n_defects = 80 if is_ci_scale() else 400
+    result = benchmark.pedantic(
+        run_rate_spread, kwargs=dict(n_defects=n_defects),
+        rounds=1, iterations=1,
+    )
+    show(result["rendered"])
+    assert result["spread_orders"] >= 3.0

@@ -1,0 +1,12 @@
+"""E7 — f/V/T sensitivity sweeps and the shared copy/vector logic (§5)."""
+
+from repro.analysis.experiments import run_fvt
+
+
+def test_e7_fvt_sweeps(benchmark, show):
+    result = benchmark.pedantic(run_fvt, rounds=1, iterations=1)
+    show(result["rendered"])
+    assert result["freq_rates"] == sorted(result["freq_rates"])
+    assert result["volt_rates"] == sorted(result["volt_rates"], reverse=True)
+    assert result["copy_corruptions"] > 0
+    assert result["vector_corruptions"] > 0

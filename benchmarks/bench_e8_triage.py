@@ -1,0 +1,18 @@
+"""E8 — 'roughly half of human-identified suspects are actually proven'."""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_triage
+
+
+def test_e8_triage_confirmation(benchmark, show):
+    n_incidents = 80 if is_ci_scale() else 250
+    result = benchmark.pedantic(
+        run_triage, kwargs=dict(n_incidents=n_incidents),
+        rounds=1, iterations=1,
+    )
+    show(result["rendered"])
+    assert 0.3 <= result["confirmed_fraction"] <= 0.7
+    # "the other half is a MIX of false accusations and limited
+    # reproducibility": both must be present.
+    assert result["fractions"]["false_accusation"] > 0
+    assert result["fractions"]["unreproducible"] > 0

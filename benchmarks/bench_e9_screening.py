@@ -1,0 +1,16 @@
+"""E9 — offline vs online screening tradeoff (§6)."""
+
+from repro.analysis.experiments import run_screening_tradeoff
+
+
+def test_e9_screening_tradeoff(benchmark, show):
+    result = benchmark.pedantic(
+        run_screening_tradeoff, kwargs=dict(n_rates=120),
+        rounds=1, iterations=1,
+    )
+    show(result["rendered"])
+    assert not result["online_caught_gated"]
+    assert result["offline_caught_gated"]
+    by_label = dict(zip(result["labels"], result["frontier"]))
+    assert by_label["online daily"]["median_days_to_detect"] < \
+        by_label["online weekly"]["median_days_to_detect"]

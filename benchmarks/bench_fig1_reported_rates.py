@@ -1,0 +1,37 @@
+"""F1 — Figure 1: Reported CEE rates (normalized).
+
+Paper: two series over time, normalized to an arbitrary baseline;
+user-reported roughly flat, automatically-reported gradually increasing.
+"""
+
+from benchmarks.conftest import is_ci_scale
+from repro.analysis.experiments import run_fig1
+from repro.analysis.stats import trend_slope
+
+
+def test_fig1_reported_rates(benchmark, show):
+    if is_ci_scale():
+        kwargs = dict(n_machines=2000, horizon_days=360.0,
+                      warmup_days=120.0, prevalence_scale=16.0)
+    else:
+        kwargs = dict(n_machines=12000, horizon_days=540.0,
+                      warmup_days=240.0, prevalence_scale=8.0)
+    result = benchmark.pedantic(
+        run_fig1, kwargs=kwargs, rounds=1, iterations=1
+    )
+    show(result["rendered"])
+    show(
+        f"auto slope: {result['auto_slope']:+.3e}/day   "
+        f"human slope: {result['human_slope']:+.3e}/day   "
+        f"(paper: automated series gradually increasing)"
+    )
+    auto_values = [v for _, v in result["auto_series"]]
+    assert any(v > 0 for v in auto_values), "no automated CEE reports at all"
+    # Shape contract: the automated series trends upward — compare the
+    # mean of the last third against the first third (robust to bucket
+    # noise), and require a non-negative fitted slope.
+    third = max(1, len(auto_values) // 3)
+    early = sum(auto_values[:third]) / third
+    late = sum(auto_values[-third:]) / third
+    assert late >= early, "automated series should rise over the campaign"
+    assert result["auto_slope"] >= 0.0

@@ -1,0 +1,30 @@
+"""Benchmark harness support.
+
+Each benchmark runs one experiment from DESIGN.md's index, prints the
+regenerated table/series (the paper's rows), and asserts the
+reproduction contract (shape, not absolute numbers).
+
+Scale: set ``REPRO_SCALE=ci`` for quick smoke runs; the default scale
+mirrors the numbers quoted in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "full")
+
+
+def is_ci_scale() -> bool:
+    return SCALE == "ci"
+
+
+@pytest.fixture
+def show():
+    """Print a rendered experiment block under pytest's capture."""
+
+    def _show(rendered: str) -> None:
+        print()
+        print(rendered)
+
+    return _show

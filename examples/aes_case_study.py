@@ -1,0 +1,62 @@
+"""The self-inverting AES mercurial core, end to end (§2's anecdote).
+
+"A deterministic AES mis-computation, which was 'self-inverting':
+encrypting and decrypting on the same core yielded the identity
+function, but decryption elsewhere yielded gibberish."
+
+Run:  python examples/aes_case_study.py
+"""
+
+import numpy as np
+
+from repro.detection.corpus import TestCorpus
+from repro.mitigation.selfcheck import CheckedCipher, SelfCheckError
+from repro.silicon import Core, named_case
+from repro.workloads.crypto import decrypt_ecb, encrypt_ecb
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+MESSAGE = b"wire this ciphertext to the storage layer, please" * 2
+
+
+def main() -> None:
+    defective = Core(
+        "aes/mercurial", defects=named_case("self_inverting_aes"),
+        rng=np.random.default_rng(0),
+    )
+    healthy = Core("aes/healthy", rng=np.random.default_rng(1))
+
+    ct_bad = encrypt_ecb(defective, MESSAGE, KEY)
+    ct_good = encrypt_ecb(healthy, MESSAGE, KEY)
+    print(f"ciphertext differs from a healthy core's: {ct_bad != ct_good}")
+
+    roundtrip = decrypt_ecb(defective, ct_bad, KEY)
+    print(f"same-core decrypt(encrypt(m)) == m:       {roundtrip == MESSAGE}")
+
+    try:
+        elsewhere = decrypt_ecb(healthy, ct_bad, KEY)
+        print(f"decrypt elsewhere == m:                   {elsewhere == MESSAGE}")
+    except ValueError as error:
+        print(f"decrypt elsewhere: CRASH ({error}) — gibberish confirmed")
+
+    print("\nWhy this is nasty: the obvious self-check (round-trip on the")
+    print("same core) PASSES.  Data encrypted by this core is unreadable")
+    print("by every other machine in the fleet — 'a corrupted encryption")
+    print("key can render large amounts of data permanently inaccessible'.")
+
+    # Defense 1: cross-core verification in the self-checking library.
+    cipher = CheckedCipher(defective, verify_core=healthy)
+    try:
+        cipher.encrypt(MESSAGE, KEY)
+        print("\ncross-core CheckedCipher: MISSED (unexpected)")
+    except SelfCheckError as error:
+        print(f"\ncross-core CheckedCipher: caught it ({error})")
+
+    # Defense 2: the screening corpus walks every S-box entry.
+    corpus = TestCorpus.standard(seeds=(1,))
+    result = corpus.screen(defective)
+    print(f"screening corpus: confessed={result.confessed} "
+          f"via {[t for t in result.failed_tests if 'crypto' in t or 'aes' in t]}")
+
+
+if __name__ == "__main__":
+    main()

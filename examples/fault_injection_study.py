@@ -1,0 +1,76 @@
+"""Single-fault injection susceptibility study (§9 / ref [11]).
+
+"We could develop fault injectors for testing software resilience ...
+fault injection, a technique that does not require access to a large
+fleet."  This example measures how three versions of the same workload
+respond when exactly one dynamic operation result is corrupted —
+the methodology of the sorting/soft-error studies the paper cites.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+import numpy as np
+
+from repro.silicon import Core, InjectionCampaign
+from repro.silicon.units import Op
+from repro.workloads.base import WorkloadResult, digest_ints
+from repro.workloads.hashing import fnv1a
+from repro.workloads.sorting import is_sorted_on, merge_sort
+
+VALUES = [int(x) for x in np.random.default_rng(11).integers(0, 2**40, 150)]
+PAYLOAD = bytes(np.random.default_rng(12).integers(0, 256, 300, dtype=np.uint8))
+
+
+def unchecked_sort(core) -> WorkloadResult:
+    output = merge_sort(core, VALUES)
+    return WorkloadResult(name="sort", output_digest=digest_ints(output))
+
+
+def checked_sort(core) -> WorkloadResult:
+    output = merge_sort(core, VALUES)
+    return WorkloadResult(
+        name="sort+check",
+        output_digest=digest_ints(output),
+        app_detected=not is_sorted_on(core, output),
+    )
+
+
+def double_hashed(core) -> WorkloadResult:
+    first = fnv1a(core, PAYLOAD)
+    second = fnv1a(core, PAYLOAD)
+    return WorkloadResult(
+        name="hash-twice",
+        output_digest=digest_ints([first]),
+        app_detected=first != second,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    for label, work in (
+        ("unchecked merge sort", unchecked_sort),
+        ("self-checked merge sort", checked_sort),
+        ("compute-twice FNV hash", double_hashed),
+    ):
+        campaign = InjectionCampaign(work)
+        report = campaign.run(n_sites=150, rng=rng)
+        print(f"== {label} ==")
+        print(report.render())
+        print()
+
+    # Zoom in: which op classes are most SDC-prone in the unchecked sort?
+    campaign = InjectionCampaign(unchecked_sort)
+    compare_only = campaign.run(
+        n_sites=80, rng=np.random.default_rng(1),
+        ops=frozenset({Op.BLT}),
+    )
+    print("== unchecked sort, faults restricted to comparisons ==")
+    print(compare_only.render())
+    print()
+    print("Takeaway: a cheap application-level check converts nearly all")
+    print("silent corruption into detected corruption — §7's end-to-end")
+    print("argument, measured one injected fault at a time.")
+
+
+if __name__ == "__main__":
+    main()

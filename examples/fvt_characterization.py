@@ -1,0 +1,79 @@
+"""Characterizing a suspect core across the (f, V, T) envelope (§5).
+
+Shows the two sensitivities the paper calls out — a frequency-marginal
+defect and a voltage-margin defect whose rate *rises* at lower DVFS
+states (the surprising "lower frequency increases the failure rate"
+anomaly) — plus a shared-logic defect confessing through both the copy
+and vector paths.
+
+Run:  python examples/fvt_characterization.py
+"""
+
+import numpy as np
+
+from repro.analysis.figures import render_table
+from repro.silicon import (
+    Core,
+    DvfsTable,
+    FrequencySensitivity,
+    SharedLogicDefect,
+    StuckBitDefect,
+    VoltageMarginSensitivity,
+)
+from repro.silicon.units import FunctionalUnit
+from repro.workloads.copying import copy_words
+from repro.workloads.vectorops import xor_fold
+
+
+def main() -> None:
+    table = DvfsTable()
+    freq_defect = StuckBitDefect(
+        "freq-marginal", bit=11, base_rate=1e-6,
+        unit=FunctionalUnit.ALU,
+        sensitivity=FrequencySensitivity(factor_per_ghz=5.0),
+    )
+    volt_defect = StuckBitDefect(
+        "volt-marginal", bit=12, base_rate=1e-6,
+        unit=FunctionalUnit.ALU,
+        sensitivity=VoltageMarginSensitivity(factor_per_50mv=3.5),
+    )
+
+    rows = []
+    for index in range(len(table.states)):
+        env = table.operating_point(index)
+        rows.append([
+            f"{env.frequency_ghz:.1f} GHz / {env.voltage_v:.2f} V",
+            f"{freq_defect.effective_rate('add', env, 10.0):.2e}",
+            f"{volt_defect.effective_rate('add', env, 10.0):.2e}",
+        ])
+    print(render_table(
+        ["DVFS state", "freq-marginal defect", "volt-marginal defect"],
+        rows,
+        title="per-op corruption rate across the DVFS ladder",
+    ))
+    print("\nnote the right column: the voltage-margin defect fires HARDER")
+    print("at the lowest frequency — §5's anomaly, via DVFS f/V coupling.\n")
+
+    shared = Core(
+        "fvt/shared",
+        defects=[SharedLogicDefect("shuffle", bit=13, base_rate=2e-3)],
+        rng=np.random.default_rng(0),
+    )
+    reference = Core("fvt/ref", rng=np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    copy_hits = vector_hits = 0
+    trials = 25
+    for _ in range(trials):
+        words = [int(x) for x in rng.integers(0, 2**60, 256)]
+        copy_hits += copy_words(shared, words) != copy_words(reference, words)
+        vector_hits += xor_fold(shared, words) != xor_fold(reference, words)
+    print("shared-logic defect (one physical defect, two symptom families):")
+    print(f"  copy corruption in   {copy_hits}/{trials} trials")
+    print(f"  vector corruption in {vector_hits}/{trials} trials")
+    print("\n'We discovered that both kinds of operations share the same")
+    print("hardware logic ... the mapping of instructions to possibly-")
+    print("defective hardware is non-obvious.' (§5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of "Cores that don't count" (HotOS '21).
+
+A simulation and defense framework for silent Corrupt Execution Errors
+(CEEs) caused by "mercurial" CPU cores.  See README.md for the tour and
+DESIGN.md for the system inventory and experiment index.
+
+Subpackages:
+
+- :mod:`repro.silicon` — simulated cores, functional units, defect
+  models, operating environment, aging, and a small ISA + VM.
+- :mod:`repro.workloads` — from-scratch production-like software
+  (compression, hashing, AES, copying, locking, vector kernels,
+  B-tree database, filesystem with GC) routed through simulated cores.
+- :mod:`repro.core` — the paper's conceptual contribution systematized:
+  CEE taxonomy, events, metrics, suspicion scoring, report service,
+  triage, quarantine policy.
+- :mod:`repro.detection` — screeners on the paper's four axes, signal
+  analysis, test corpus, lockstep baseline, quarantine mechanisms.
+- :mod:`repro.mitigation` — redundant execution, checkpoint/restart,
+  self-checking libraries, end-to-end checks, ABFT-style resilient
+  algorithms.
+- :mod:`repro.fleet` — machines, population synthesis, scheduler,
+  telemetry, and the discrete-event fleet simulator.
+- :mod:`repro.analysis` — statistics, detection economics, experiment
+  registry, and text renderers for the paper's figure and tables.
+"""
+
+__version__ = "1.0.0"

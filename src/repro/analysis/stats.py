@@ -1,0 +1,133 @@
+"""Statistics for rate estimation with honest uncertainty.
+
+§4: "quantifying their values in practice is also difficult and
+expensive, because it requires running tests on many machines,
+potentially for a long time, before one can get high-confidence
+results — we don't even know yet how many or how long."
+
+These estimators answer that operational question: given an observed
+count, what is the rate's confidence interval; and given a target
+precision, how much test time is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from scipy import stats as _scipy_stats
+
+
+@dataclasses.dataclass(frozen=True)
+class RateEstimate:
+    """A Poisson rate estimate with a confidence interval."""
+
+    events: int
+    exposure: float          # e.g. machine-days or core-ops
+    rate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def renders_per(self, unit: float, label: str) -> str:
+        return (
+            f"{self.rate * unit:.3g} per {label} "
+            f"[{self.lower * unit:.3g}, {self.upper * unit:.3g}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def poisson_rate_ci(
+    events: int, exposure: float, confidence: float = 0.95
+) -> RateEstimate:
+    """Exact (Garwood) Poisson rate confidence interval.
+
+    Args:
+        events: observed event count.
+        exposure: total observation (machine-days, ops, ...).
+        confidence: two-sided coverage.
+    """
+    if exposure <= 0:
+        raise ValueError("exposure must be positive")
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    alpha = 1.0 - confidence
+    if events == 0:
+        lower = 0.0
+    else:
+        lower = _scipy_stats.chi2.ppf(alpha / 2, 2 * events) / 2
+    upper = _scipy_stats.chi2.ppf(1 - alpha / 2, 2 * events + 2) / 2
+    return RateEstimate(
+        events=events,
+        exposure=exposure,
+        rate=events / exposure,
+        lower=lower / exposure,
+        upper=upper / exposure,
+        confidence=confidence,
+    )
+
+
+def binomial_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Clopper–Pearson exact binomial interval."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    alpha = 1.0 - confidence
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = _scipy_stats.beta.ppf(alpha / 2, successes, trials - successes + 1)
+    if successes == trials:
+        upper = 1.0
+    else:
+        upper = _scipy_stats.beta.ppf(
+            1 - alpha / 2, successes + 1, trials - successes
+        )
+    return float(lower), float(upper)
+
+
+def exposure_needed(
+    target_rate: float,
+    relative_precision: float = 0.5,
+    confidence: float = 0.95,
+) -> float:
+    """How much exposure to bound a rate within ±relative_precision.
+
+    Uses the normal approximation N ≈ (z / precision)²; events needed
+    divided by the target rate gives the exposure.  This is the §4
+    "how many machines for how long" answer in closed form.
+    """
+    if target_rate <= 0:
+        raise ValueError("target_rate must be positive")
+    if not 0 < relative_precision < 1:
+        raise ValueError("relative_precision must be in (0, 1)")
+    z = _scipy_stats.norm.ppf(0.5 + confidence / 2)
+    events_needed = (z / relative_precision) ** 2
+    return events_needed / target_rate
+
+
+def trend_slope(series: list[tuple[float, float]]) -> float:
+    """Least-squares slope of a (time, value) series.
+
+    Used to verify Fig. 1's "gradually increasing" automated rate.
+    """
+    if len(series) < 2:
+        return 0.0
+    n = len(series)
+    mean_x = sum(x for x, _ in series) / n
+    mean_y = sum(y for _, y in series) / n
+    ss_xx = sum((x - mean_x) ** 2 for x, _ in series)
+    if ss_xx == 0:
+        return 0.0
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in series)
+    return ss_xy / ss_xx
+
+
+def orders_of_magnitude_spread(rates: list[float]) -> float:
+    """log10(max/min) over positive rates — §2's 'many orders of
+    magnitude' claim, quantified."""
+    positive = [r for r in rates if r > 0]
+    if len(positive) < 2:
+        return 0.0
+    return math.log10(max(positive) / min(positive))

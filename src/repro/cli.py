@@ -1,0 +1,114 @@
+"""Command-line interface: run the paper's experiments by ID.
+
+Usage::
+
+    python -m repro list                  # experiment catalog
+    python -m repro run E3                # one experiment, rendered
+    python -m repro run F1 --scale ci     # the figure, at smoke scale
+    python -m repro run all --scale ci    # everything (slow at full scale)
+    python -m repro cases                 # the §2 named defect case studies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.analysis.experiments import EXPERIMENTS
+
+#: experiment kwargs at smoke scale (subset; others are already fast)
+_CI_KWARGS: dict[str, dict] = {
+    "F1": dict(n_machines=2000, horizon_days=360.0, warmup_days=120.0,
+               prevalence_scale=16.0),
+    "E1": dict(n_machines=3000, horizon_days=120.0),
+    "E2": dict(n_cores=12),
+    "E6": dict(n_defects=80),
+    "E8": dict(n_incidents=80),
+    "E9": dict(n_rates=40),
+    "E10": dict(n_machines=20),
+    "E11": dict(n_units=15),
+}
+
+
+def _run_one(experiment_id: str, scale: str) -> int:
+    try:
+        title, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        print(f"unknown experiment {experiment_id!r}; try `list`",
+              file=sys.stderr)
+        return 2
+    kwargs = _CI_KWARGS.get(experiment_id, {}) if scale == "ci" else {}
+    print(f"== {experiment_id}: {title} ==")
+    started = time.time()
+    result = runner(**kwargs)
+    elapsed = time.time() - started
+    print(result["rendered"])
+    print(f"[{elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_list() -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, (title, _) in EXPERIMENTS.items():
+        print(f"{eid:<{width}}  {title}")
+    return 0
+
+
+def _cmd_cases() -> int:
+    import numpy as np
+
+    from repro.detection.corpus import TestCorpus
+    from repro.silicon import Core, NAMED_CASES, named_case
+
+    corpus = TestCorpus.standard(seeds=(1,))
+    for name in NAMED_CASES:
+        core = Core(
+            f"cases/{name}", defects=named_case(name),
+            rng=np.random.default_rng(0),
+        )
+        screen = corpus.screen(core, repetitions=2)
+        descriptions = "; ".join(d.describe() for d in core.defects)
+        print(f"{name}:")
+        print(f"  defects:   {descriptions}")
+        print(f"  confessed: {screen.confessed} "
+              f"({len(screen.failed_tests)} failing tests, "
+              f"{screen.machine_checks} machine checks)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'Cores that don't count'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiment IDs")
+    subparsers.add_parser("cases", help="screen the §2 named defect cases")
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument(
+        "experiment", help="experiment ID (F1, E1..E14) or 'all'"
+    )
+    run_parser.add_argument(
+        "--scale", choices=("full", "ci"), default="full",
+        help="ci = smoke-test sizes",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cases":
+        return _cmd_cases()
+    if args.experiment == "all":
+        status = 0
+        for eid in EXPERIMENTS:
+            status = max(status, _run_one(eid, args.scale))
+        return status
+    return _run_one(args.experiment.upper(), args.scale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Suspicion scoring: recidivism turns signals into confidence.
+
+"Recidivism — repeated signals from the same core — increases our
+confidence that a core is mercurial" (§6).  The tracker keeps a
+per-core exponentially-decayed suspicion score plus a simple Bayesian
+posterior that a core is mercurial given how its signal count compares
+to the fleet background rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass
+class _CoreState:
+    score: float = 0.0
+    last_update_days: float = 0.0
+    total_signals: int = 0
+    distinct_sources: set = dataclasses.field(default_factory=set)
+
+
+class SuspicionTracker:
+    """Per-core decayed suspicion accumulator.
+
+    Args:
+        half_life_days: how fast old signals stop counting.  Mercurial
+            cores fail "repeatedly and intermittently" (§2); decay keeps
+            one-off coincidences from accumulating forever.
+        source_bonus: extra weight when a *new distinct application*
+            implicates the same core ("reports from multiple
+            applications that appear to be concentrated on a few cores
+            might well be CEEs", §6).
+    """
+
+    def __init__(self, half_life_days: float = 30.0, source_bonus: float = 0.5):
+        if half_life_days <= 0:
+            raise ValueError("half_life_days must be positive")
+        self.half_life_days = half_life_days
+        self.source_bonus = source_bonus
+        self._cores: dict[str, _CoreState] = {}
+
+    def _decay(self, state: _CoreState, now_days: float) -> None:
+        elapsed = now_days - state.last_update_days
+        if elapsed > 0:
+            state.score *= 0.5 ** (elapsed / self.half_life_days)
+            state.last_update_days = now_days
+
+    def record(
+        self,
+        core_id: str,
+        now_days: float,
+        weight: float = 1.0,
+        source: str | None = None,
+    ) -> float:
+        """Add one signal; returns the updated score."""
+        state = self._cores.setdefault(core_id, _CoreState(last_update_days=now_days))
+        self._decay(state, now_days)
+        bonus = 0.0
+        if source is not None and source not in state.distinct_sources:
+            state.distinct_sources.add(source)
+            if len(state.distinct_sources) > 1:
+                bonus = self.source_bonus
+        state.score += weight + bonus
+        state.total_signals += 1
+        return state.score
+
+    def score(self, core_id: str, now_days: float) -> float:
+        state = self._cores.get(core_id)
+        if state is None:
+            return 0.0
+        self._decay(state, now_days)
+        return state.score
+
+    def signals(self, core_id: str) -> int:
+        state = self._cores.get(core_id)
+        return state.total_signals if state else 0
+
+    def distinct_sources(self, core_id: str) -> int:
+        state = self._cores.get(core_id)
+        return len(state.distinct_sources) if state else 0
+
+    def suspects(self, now_days: float, threshold: float) -> list[tuple[str, float]]:
+        """Cores at/above threshold, most suspicious first."""
+        ranked = [
+            (core_id, self.score(core_id, now_days))
+            for core_id in list(self._cores)
+        ]
+        ranked = [(c, s) for c, s in ranked if s >= threshold]
+        ranked.sort(key=lambda item: item[1], reverse=True)
+        return ranked
+
+    def tracked_cores(self) -> list[str]:
+        return list(self._cores)
+
+
+def posterior_mercurial(
+    signals: int,
+    observation_days: float,
+    background_rate_per_day: float,
+    mercurial_rate_per_day: float,
+    prior: float = 1e-3,
+) -> float:
+    """Posterior P(core is mercurial | signal count) via Poisson likelihoods.
+
+    Healthy cores emit signals (software bugs, cosmic rays, coincidental
+    crashes) at ``background_rate_per_day``; mercurial cores at the much
+    higher ``mercurial_rate_per_day``.  With a Poisson count model the
+    log-likelihood ratio is closed-form.
+
+    The ``prior`` default reflects the paper's "a few mercurial cores
+    per several thousand machines": order 1e-3 per machine, less per
+    core — callers should scale by cores per machine.
+    """
+    if observation_days <= 0:
+        return prior
+    if background_rate_per_day <= 0 or mercurial_rate_per_day <= 0:
+        raise ValueError("rates must be positive")
+    lam_h = background_rate_per_day * observation_days
+    lam_m = mercurial_rate_per_day * observation_days
+    log_lr = (
+        signals * (math.log(lam_m) - math.log(lam_h)) - (lam_m - lam_h)
+    )
+    log_odds_prior = math.log(prior) - math.log1p(-prior)
+    log_odds = log_odds_prior + log_lr
+    # Numerically safe logistic.
+    if log_odds > 50:
+        return 1.0
+    if log_odds < -50:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-log_odds))

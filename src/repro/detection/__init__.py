@@ -1,0 +1,86 @@
+"""Detection and isolation of mercurial cores (paper §6).
+
+Screeners are classified on the paper's four axes (automated/human,
+pre/post-deployment, offline/online, infrastructure/application); see
+:mod:`repro.detection.screener`.  The pieces:
+
+- :mod:`repro.detection.corpus` — the screening-test corpus (ISA
+  torture programs + real-library tests) and the targeted-test
+  workflow for newly root-caused defect modes.
+- :mod:`repro.detection.online` / :mod:`repro.detection.offline` —
+  spare-cycle screening vs drain-and-sweep interrogation.
+- :mod:`repro.detection.signals` — crash/MCE/sanitizer log analysis
+  into per-core suspicion.
+- :mod:`repro.detection.sanitizer` — the sanitizer signal model.
+- :mod:`repro.detection.lockstep` — dual-core lockstep, the hardware
+  baseline.
+- :mod:`repro.detection.quarantine` — core- and machine-level
+  isolation with cost accounting, plus safe-task analysis (§6.1).
+"""
+
+from repro.detection.characterize import (
+    DefectProfile,
+    OpFinding,
+    characterize,
+    probe_operations,
+    recover_trigger_gate,
+    synthesize_regression_test,
+)
+from repro.detection.corpus import ScreeningTest, TestCorpus, make_targeted_test
+from repro.detection.lockstep import LockstepMismatch, LockstepPair
+from repro.detection.offline import OfflineScreener, OfflineScreenerConfig
+from repro.detection.online import OnlineScreener, OnlineScreenerConfig
+from repro.detection.quarantine import (
+    CoreQuarantine,
+    IsolationCost,
+    MachineQuarantine,
+    heuristic_safe_op_mix,
+    safe_op_mix,
+    units_implicated,
+)
+from repro.detection.sanitizer import SanitizerModel
+from repro.detection.screener import (
+    Automation,
+    DeploymentPhase,
+    Level,
+    Mode,
+    ScreenerAxes,
+    ScreeningBudget,
+    ScreenResult,
+)
+from repro.detection.signals import DEFAULT_WEIGHTS, SignalAnalyzer, SignalAnalyzerConfig
+
+__all__ = [
+    "DefectProfile",
+    "OpFinding",
+    "characterize",
+    "probe_operations",
+    "recover_trigger_gate",
+    "synthesize_regression_test",
+    "ScreeningTest",
+    "TestCorpus",
+    "make_targeted_test",
+    "LockstepMismatch",
+    "LockstepPair",
+    "OfflineScreener",
+    "OfflineScreenerConfig",
+    "OnlineScreener",
+    "OnlineScreenerConfig",
+    "CoreQuarantine",
+    "IsolationCost",
+    "MachineQuarantine",
+    "heuristic_safe_op_mix",
+    "safe_op_mix",
+    "units_implicated",
+    "SanitizerModel",
+    "Automation",
+    "DeploymentPhase",
+    "Level",
+    "Mode",
+    "ScreenerAxes",
+    "ScreeningBudget",
+    "ScreenResult",
+    "DEFAULT_WEIGHTS",
+    "SignalAnalyzer",
+    "SignalAnalyzerConfig",
+]

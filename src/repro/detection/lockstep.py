@@ -1,0 +1,73 @@
+"""Lockstep dual-core execution: the hardware-detection baseline.
+
+§6: "Hardware-based detection can work; e.g., some systems use pairs
+of cores in 'lockstep' to detect if one fails, on the assumption that
+both failing at once is unlikely."  (The paper cites the ARM
+Cortex-A76AE.)
+
+:class:`LockstepPair` presents the :class:`CoreLike` interface while
+executing every operation on both member cores and comparing results
+per-operation — zero detection latency, at a permanent 2× compute cost
+and with an unresolvable ambiguity: a mismatch says *a* core is wrong,
+not *which* one.  :class:`LockstepMismatch` carries both answers so a
+third opinion can break the tie (that is triple-modular redundancy,
+implemented in :mod:`repro.mitigation.redundancy`).
+"""
+
+from __future__ import annotations
+
+from repro.silicon.core import Core
+
+
+class LockstepMismatch(Exception):
+    """The two lockstep members disagreed on one operation."""
+
+    def __init__(self, op: str, result_a, result_b, pair_id: str):
+        self.op = op
+        self.result_a = result_a
+        self.result_b = result_b
+        self.pair_id = pair_id
+        super().__init__(
+            f"lockstep mismatch on {op!r} in pair {pair_id}: "
+            f"{result_a!r} != {result_b!r}"
+        )
+
+
+class LockstepPair:
+    """Two cores executing identical operation streams.
+
+    Implements the ``CoreLike`` protocol so any workload can run on a
+    pair unchanged.  Detection is immediate (§2's best symptom class)
+    but costs double.
+    """
+
+    def __init__(self, primary: Core, shadow: Core):
+        if primary.core_id == shadow.core_id:
+            raise ValueError("lockstep members must be distinct cores")
+        self.primary = primary
+        self.shadow = shadow
+        self.core_id = f"pair({primary.core_id},{shadow.core_id})"
+        self.mismatches = 0
+        self.ops_executed = 0
+
+    def execute(self, op: str, *operands):
+        """Execute on both members; raise on disagreement.
+
+        Raises:
+            LockstepMismatch: the members disagreed.
+        """
+        self.ops_executed += 1
+        result_a = self.primary.execute(op, *operands)
+        result_b = self.shadow.execute(op, *operands)
+        if result_a != result_b:
+            self.mismatches += 1
+            raise LockstepMismatch(op, result_a, result_b, self.core_id)
+        return result_a
+
+    def golden(self, op: str, *operands):
+        return self.primary.golden(op, *operands)
+
+    @property
+    def cost_factor(self) -> float:
+        """Compute amplification relative to a single core."""
+        return 2.0

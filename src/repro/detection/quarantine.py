@@ -1,0 +1,134 @@
+"""Isolation mechanisms: removing bad cores from service.
+
+§6.1: "It is relatively simple for existing scheduling mechanisms to
+remove a machine from the resource pool; isolating a specific core
+could be more challenging, because it undermines a scheduler
+assumption that all machines of a specific type have identical
+resources.  Shalev et al. described a mechanism for removing a faulty
+core from a running operating system [Core Surprise Removal]."
+
+Two mechanisms, with the §6.1 cost difference made measurable:
+
+- :class:`MachineQuarantine` — pull the whole machine: simple, wastes
+  ``n_cores - 1`` healthy cores' capacity.
+- :class:`CoreQuarantine` — surprise-remove a single core: preserves
+  capacity, pays a migration cost for the tasks running there, and
+  leaves the machine *heterogeneous* (the scheduler burden is modeled
+  by :mod:`repro.fleet.scheduler`).
+
+It also implements the speculative idea at the end of §6.1: running
+*safe tasks* on a mercurial core whose defective unit a task's op mix
+avoids, instead of stranding the capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.silicon.core import Core
+from repro.silicon.units import unit_of
+
+
+@dataclasses.dataclass
+class IsolationCost:
+    """Accumulated capacity/migration cost of isolation actions."""
+
+    cores_stranded: int = 0
+    healthy_cores_stranded: int = 0
+    migrations: int = 0
+    migration_coreseconds: float = 0.0
+
+
+class CoreQuarantine:
+    """Single-core surprise removal (CSR-style)."""
+
+    def __init__(self, migration_coreseconds_per_task: float = 30.0):
+        self.migration_cost = migration_coreseconds_per_task
+        self.cost = IsolationCost()
+        self.removed: set[str] = set()
+
+    def remove(self, core: Core, running_tasks: int = 0) -> None:
+        """Take one core out of service, migrating its tasks."""
+        if core.core_id in self.removed:
+            return
+        core.set_online(False)
+        self.removed.add(core.core_id)
+        self.cost.cores_stranded += 1
+        if not core.is_mercurial:
+            self.cost.healthy_cores_stranded += 1
+        self.cost.migrations += running_tasks
+        self.cost.migration_coreseconds += running_tasks * self.migration_cost
+
+    def restore(self, core: Core) -> None:
+        if core.core_id not in self.removed:
+            return
+        core.set_online(True)
+        self.removed.discard(core.core_id)
+        self.cost.cores_stranded -= 1
+        if not core.is_mercurial:
+            self.cost.healthy_cores_stranded -= 1
+
+
+class MachineQuarantine:
+    """Whole-machine removal: the blunt instrument."""
+
+    def __init__(self, migration_coreseconds_per_task: float = 30.0):
+        self.migration_cost = migration_coreseconds_per_task
+        self.cost = IsolationCost()
+        self.removed_machines: set[str] = set()
+
+    def remove(self, machine_id: str, cores: list[Core], running_tasks: int = 0) -> None:
+        if machine_id in self.removed_machines:
+            return
+        self.removed_machines.add(machine_id)
+        for core in cores:
+            core.set_online(False)
+            self.cost.cores_stranded += 1
+            if not core.is_mercurial:
+                self.cost.healthy_cores_stranded += 1
+        self.cost.migrations += running_tasks
+        self.cost.migration_coreseconds += running_tasks * self.migration_cost
+
+
+def safe_op_mix(core: Core, op_mix: dict[str, float], threshold: float = 1e-9) -> bool:
+    """Would this op mix be (approximately) safe on this core?
+
+    §6.1: "one might identify a set of tasks that can run safely on a
+    given mercurial core (if these tasks avoid a defective execution
+    unit) ... It is not clear, though, if we can reliably identify safe
+    tasks."  This function answers with the *simulator's* knowledge of
+    the defect's targeting — experiments use it as the oracle upper
+    bound on what such a scheme could save, and compare against
+    unit-level heuristics that only know which unit confessed.
+    """
+    return core.mean_rate(op_mix) < threshold
+
+
+def units_implicated(failed_test_units: list[frozenset]) -> frozenset:
+    """Intersect/union heuristic: which units do confessions implicate?
+
+    With one failed test the answer is its unit set; with several, the
+    union (the paper: "the mapping of instructions to possibly-defective
+    hardware is non-obvious", so we stay conservative).
+    """
+    implicated: set = set()
+    for units in failed_test_units:
+        implicated |= units
+    return frozenset(implicated)
+
+
+def heuristic_safe_op_mix(
+    implicated_units: frozenset, op_mix: dict[str, float], tolerance: float = 0.0
+) -> bool:
+    """Unit-avoidance heuristic: mix is safe if it avoids implicated units.
+
+    Unlike :func:`safe_op_mix` this uses only observable information
+    (which tests failed).  ``tolerance`` permits a tiny fraction of ops
+    on implicated units (e.g. for mixes measured with noise).
+    """
+    exposure = sum(
+        fraction
+        for op, fraction in op_mix.items()
+        if unit_of(op) in implicated_units
+    )
+    return exposure <= tolerance

@@ -1,0 +1,97 @@
+"""Sanitizer signal model.
+
+§6 notes that "code sanitizers in modern tool chains (e.g., Address
+Sanitizer), capable of detecting memory corruption (e.g.
+buffer-overflow, use-after-free), also provide useful signals."
+
+We cannot run ASan inside the simulation, but we can model what it
+contributes: a probabilistic observer that converts a fraction of
+otherwise-silent corruptions into attributed events — plus a steady
+background of true software bugs that have nothing to do with silicon
+(the reason sanitizer signals get a low suspicion weight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+
+
+class SanitizerModel:
+    """Converts corruption occurrences into sanitizer events.
+
+    Args:
+        catch_probability: chance a given memory-adjacent corruption
+            trips a sanitizer check (sanitized builds are a small slice
+            of the fleet, and only pointer-shaped corruption trips
+            them).
+        background_rate_per_machineday: rate of sanitizer reports from
+            plain software bugs — §1's "undiagnosed software bugs that
+            we always assume lurk within a code base at scale".
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        catch_probability: float = 0.05,
+        background_rate_per_machineday: float = 0.002,
+    ):
+        if not 0.0 <= catch_probability <= 1.0:
+            raise ValueError("catch_probability must be a probability")
+        if background_rate_per_machineday < 0:
+            raise ValueError("background rate must be non-negative")
+        self.rng = rng
+        self.catch_probability = catch_probability
+        self.background_rate = background_rate_per_machineday
+
+    def observe_corruption(
+        self,
+        log: EventLog,
+        time_days: float,
+        machine_id: str,
+        core_id: str,
+        application: str,
+    ) -> bool:
+        """Maybe emit a sanitizer event for a real corruption."""
+        if self.rng.random() >= self.catch_probability:
+            return False
+        log.append(
+            CeeEvent(
+                time_days=time_days,
+                machine_id=machine_id,
+                core_id=core_id,
+                kind=EventKind.SANITIZER,
+                reporter=Reporter.AUTOMATED,
+                application=application,
+                detail="heap-buffer-overflow (simulated asan)",
+            )
+        )
+        return True
+
+    def emit_background(
+        self,
+        log: EventLog,
+        time_days: float,
+        machine_ids: list[str],
+        span_days: float,
+    ) -> int:
+        """Emit software-bug noise over ``span_days``; returns count."""
+        if not machine_ids:
+            return 0
+        expected = self.background_rate * len(machine_ids) * span_days
+        count = int(self.rng.poisson(expected))
+        for _ in range(count):
+            machine_id = machine_ids[int(self.rng.integers(len(machine_ids)))]
+            log.append(
+                CeeEvent(
+                    time_days=time_days + float(self.rng.uniform(0, span_days)),
+                    machine_id=machine_id,
+                    core_id=None,  # software bugs have no core affinity
+                    kind=EventKind.SANITIZER,
+                    reporter=Reporter.AUTOMATED,
+                    application="various",
+                    detail="software bug (background)",
+                )
+            )
+        return count

@@ -1,0 +1,112 @@
+"""Screener framework: the §6 classification axes, as code.
+
+"We categorize detection processes on several axes: (1) automated vs.
+human; (2) pre-deployment vs. post-deployment; (3) offline vs. online;
+and (4) infrastructure-level vs. application-level."
+
+Every screener in this package declares where it sits on those axes
+(:class:`ScreenerAxes`) and produces :class:`ScreenResult` records that
+carry both the verdict and the *cost* — §6 is explicit that "the
+non-trivial costs of the detection processes themselves" are part of
+the tradeoff, so cost accounting is not optional.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Automation(enum.Enum):
+    AUTOMATED = "automated"
+    HUMAN = "human"
+
+
+class DeploymentPhase(enum.Enum):
+    PRE_DEPLOYMENT = "pre_deployment"
+    POST_DEPLOYMENT = "post_deployment"
+
+
+class Mode(enum.Enum):
+    OFFLINE = "offline"
+    ONLINE = "online"
+
+
+class Level(enum.Enum):
+    INFRASTRUCTURE = "infrastructure"
+    APPLICATION = "application"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScreenerAxes:
+    """Position of a screener in the §6 taxonomy."""
+
+    automation: Automation
+    phase: DeploymentPhase
+    mode: Mode
+    level: Level
+
+    def describe(self) -> str:
+        return (
+            f"{self.automation.value}/{self.phase.value}/"
+            f"{self.mode.value}/{self.level.value}"
+        )
+
+
+@dataclasses.dataclass
+class ScreenResult:
+    """Outcome of screening one core.
+
+    Attributes:
+        core_id: the screened core.
+        passed: no test failed (does NOT prove health — §4's coverage
+            caveat; a pass is only evidence).
+        failed_tests: names of tests that caught a wrong answer.
+        tests_run: total test executions.
+        ops_cost: primitive operations spent screening (the compute
+            bill).
+        drain_cost_coreseconds: capacity lost to draining the core
+            for offline screening (0 for online).
+        machine_checks: machine checks raised during screening (also a
+            confession).
+    """
+
+    core_id: str
+    passed: bool
+    failed_tests: list[str] = dataclasses.field(default_factory=list)
+    tests_run: int = 0
+    ops_cost: int = 0
+    drain_cost_coreseconds: float = 0.0
+    machine_checks: int = 0
+
+    @property
+    def confessed(self) -> bool:
+        """Did the core fail any test or raise a machine check?"""
+        return bool(self.failed_tests) or self.machine_checks > 0
+
+
+@dataclasses.dataclass
+class ScreeningBudget:
+    """Aggregate cost accounting across a screening campaign."""
+
+    total_ops: int = 0
+    total_tests: int = 0
+    total_drain_coreseconds: float = 0.0
+    cores_screened: int = 0
+    confessions: int = 0
+
+    def add(self, result: ScreenResult) -> None:
+        self.total_ops += result.ops_cost
+        self.total_tests += result.tests_run
+        self.total_drain_coreseconds += result.drain_cost_coreseconds
+        self.cores_screened += 1
+        if result.confessed:
+            self.confessions += 1
+
+    def render(self) -> str:
+        return (
+            f"screened {self.cores_screened} cores, "
+            f"{self.total_tests} tests, {self.total_ops} ops, "
+            f"{self.total_drain_coreseconds:.0f} core-seconds drained, "
+            f"{self.confessions} confessions"
+        )

@@ -1,0 +1,103 @@
+"""Signal analysis: turning fleet noise into core suspicion.
+
+§6: "We currently exploit several different kinds of automatable
+'signals' indicating the possible presence of CEEs, especially when we
+can detect core-specific patterns for these signals.  These include
+crashes of user processes and kernels and analysis of our existing
+logs of machine checks.  Code sanitizers in modern tool chains ...
+also provide useful signals."
+
+:class:`SignalAnalyzer` consumes :class:`~repro.core.events.EventLog`
+entries and feeds a :class:`~repro.core.confidence.SuspicionTracker`
+with kind-specific weights.  Events without core attribution (many
+crashes) contribute a diluted weight to every core of the machine —
+the analyzer cannot conjure attribution the infrastructure lacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind
+
+
+#: default evidence weight per signal kind; machine checks are hard
+#: evidence, sanitizer hits are often software bugs, user reports are
+#: noisy but §6 says half pan out.
+DEFAULT_WEIGHTS: Mapping[EventKind, float] = {
+    EventKind.MACHINE_CHECK: 2.5,
+    EventKind.SCREEN_FAIL: 3.0,
+    EventKind.SELF_CHECK_FAILURE: 1.5,
+    EventKind.APP_REPORT: 1.2,
+    EventKind.CRASH: 0.8,
+    EventKind.SANITIZER: 0.7,
+    EventKind.DATA_CORRUPTION: 1.0,
+    EventKind.USER_REPORT: 1.0,
+}
+
+
+@dataclasses.dataclass
+class SignalAnalyzerConfig:
+    weights: Mapping[EventKind, float] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS)
+    )
+    #: weight multiplier when an event lacks core attribution and is
+    #: spread over the machine's cores
+    unattributed_dilution: float = 0.25
+
+
+class SignalAnalyzer:
+    """Feeds an event stream into per-core suspicion scores."""
+
+    def __init__(
+        self,
+        tracker: SuspicionTracker | None = None,
+        config: SignalAnalyzerConfig | None = None,
+        cores_by_machine: Mapping[str, Sequence[str]] | None = None,
+    ):
+        """
+        Args:
+            tracker: suspicion store (created if omitted).
+            cores_by_machine: machine id → core ids, used to spread
+                unattributed signals; unattributed events on unknown
+                machines are dropped (nothing to pin them on).
+        """
+        self.tracker = tracker or SuspicionTracker()
+        self.config = config or SignalAnalyzerConfig()
+        self.cores_by_machine = dict(cores_by_machine or {})
+
+    def register_machine(self, machine_id: str, core_ids: Sequence[str]) -> None:
+        self.cores_by_machine[machine_id] = list(core_ids)
+
+    def ingest(self, event: CeeEvent) -> None:
+        """Process one event into suspicion."""
+        weight = self.config.weights.get(event.kind, 1.0)
+        if event.core_id is not None:
+            self.tracker.record(
+                event.core_id,
+                now_days=event.time_days,
+                weight=weight,
+                source=event.application,
+            )
+            return
+        cores = self.cores_by_machine.get(event.machine_id)
+        if not cores:
+            return
+        diluted = weight * self.config.unattributed_dilution / len(cores)
+        for core_id in cores:
+            self.tracker.record(
+                core_id,
+                now_days=event.time_days,
+                weight=diluted,
+                source=event.application,
+            )
+
+    def ingest_all(self, events) -> None:
+        for event in events:
+            self.ingest(event)
+
+    def suspects(self, now_days: float, threshold: float = 2.0) -> list[tuple[str, float]]:
+        """Current suspects, most suspicious first."""
+        return self.tracker.suspects(now_days, threshold)

@@ -1,0 +1,98 @@
+"""Machine lifecycle: burn-in, deployment, RMA and replacement.
+
+§1: "there is already a vast installed base of vulnerable chips, and we
+need to find scalable ways to keep using these systems without
+suffering from frequent errors, rather than replacing them (at enormous
+expense)".  The lifecycle model makes that expense comparable against
+quarantine strategies:
+
+- :func:`burn_in` — pre-deployment screening (§6 axis 2): runs the
+  corpus against a machine's cores at stress conditions before it joins
+  the fleet, catching manufacturing escapes that are active on day one.
+- :class:`RmaTracker` — accounts replacement cost and lead time for
+  machines pulled from the fleet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.detection.corpus import TestCorpus
+from repro.detection.screener import ScreenResult
+from repro.fleet.machine import Machine
+from repro.silicon.environment import stress_points
+
+
+@dataclasses.dataclass
+class BurnInReport:
+    """Outcome of pre-deployment screening for one machine."""
+
+    machine_id: str
+    rejected: bool
+    confessing_cores: list[str]
+    results: list[ScreenResult]
+
+
+def burn_in(
+    machine: Machine,
+    corpus: TestCorpus | None = None,
+    repetitions: int = 2,
+) -> BurnInReport:
+    """Pre-deployment screen of every core at stress conditions.
+
+    Catches day-zero defects (manufacturing-test escapes); late-onset
+    defects pass burn-in by definition — the paper's reason why
+    "testing becomes part of the full lifecycle of a CPU, not just an
+    issue for vendors or burn-in testing" (§6).
+    """
+    corpus = corpus or TestCorpus.standard()
+    confessing: list[str] = []
+    results: list[ScreenResult] = []
+    for core in machine.cores:
+        original_env = core.env
+        merged = ScreenResult(core_id=core.core_id, passed=True)
+        try:
+            for point in stress_points(machine.dvfs):
+                core.set_environment(point)
+                result = corpus.screen(core, repetitions=repetitions)
+                merged.tests_run += result.tests_run
+                merged.ops_cost += result.ops_cost
+                merged.machine_checks += result.machine_checks
+                merged.failed_tests.extend(result.failed_tests)
+                if not result.passed:
+                    merged.passed = False
+        finally:
+            core.set_environment(original_env)
+        results.append(merged)
+        if merged.confessed:
+            confessing.append(core.core_id)
+    return BurnInReport(
+        machine_id=machine.machine_id,
+        rejected=bool(confessing),
+        confessing_cores=confessing,
+        results=results,
+    )
+
+
+@dataclasses.dataclass
+class RmaTracker:
+    """Replacement economics for pulled machines.
+
+    Attributes:
+        machine_cost_units: capital cost of one replacement machine
+            (arbitrary units; experiments compare, not price).
+        lead_time_days: capacity gap between pull and replacement.
+    """
+
+    machine_cost_units: float = 1.0
+    lead_time_days: float = 30.0
+    machines_pulled: int = 0
+    capacity_gap_machinedays: float = 0.0
+
+    def pull(self, n_machines: int = 1) -> None:
+        self.machines_pulled += n_machines
+        self.capacity_gap_machinedays += n_machines * self.lead_time_days
+
+    @property
+    def replacement_cost(self) -> float:
+        return self.machines_pulled * self.machine_cost_units

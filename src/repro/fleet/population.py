@@ -1,0 +1,139 @@
+"""Fleet population synthesis.
+
+Builds a fleet of machines with ground-truth mercurial cores drawn from
+each SKU's prevalence and the defect archetype catalog.  The builder is
+fully seeded: the same seed reproduces the same fleet, core for core.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.fleet.machine import Machine
+from repro.fleet.product import CpuProduct, DEFAULT_PRODUCTS
+from repro.silicon.catalog import sample_core_defects
+from repro.silicon.core import Chip, Core
+from repro.silicon.environment import NOMINAL
+
+
+@dataclasses.dataclass
+class FleetGroundTruth:
+    """What the experimenter knows and the detectors must discover."""
+
+    mercurial_core_ids: set[str]
+    onset_days_by_core: dict[str, float]
+
+    @property
+    def n_mercurial(self) -> int:
+        return len(self.mercurial_core_ids)
+
+
+class FleetBuilder:
+    """Seeded generator of machine populations.
+
+    Args:
+        products: SKU portfolio.
+        weights: machine-count mix over the portfolio.
+        seed: master seed; everything derives from it.
+        deployment_window: (earliest, latest) deploy day; machines enter
+            service uniformly over this window.  Negative values mean
+            "deployed before the campaign starts", so the fleet carries
+            a realistic age spread (the paper's fleet had machines of
+            "various ages", §4).
+    """
+
+    def __init__(
+        self,
+        products: Sequence[CpuProduct] = DEFAULT_PRODUCTS,
+        weights: Sequence[float] | None = None,
+        seed: int = 0,
+        deployment_window: tuple[float, float] = (0.0, 0.0),
+        technology_refresh: bool = False,
+    ):
+        """
+        Args:
+            technology_refresh: when True, newer products (later in the
+                ``products`` list) deploy later in the window, modeling
+                an ongoing technology refresh.  Since newer process
+                nodes carry higher defect prevalence (§5's scaling
+                argument), the fleet's mercurial-core influx *grows*
+                over the campaign — one of the drivers behind Fig. 1's
+                gradually-increasing automated detection rate.
+        """
+        if weights is None:
+            weights = [1.0] * len(products)
+        if len(weights) != len(products):
+            raise ValueError("one weight per product")
+        if deployment_window[0] > deployment_window[1]:
+            raise ValueError("deployment_window must be (earliest, latest)")
+        self.products = list(products)
+        probabilities = np.array(weights, dtype=float)
+        self._probabilities = probabilities / probabilities.sum()
+        self.seed = seed
+        self.deployment_window = deployment_window
+        self.technology_refresh = technology_refresh
+
+    def build(self, n_machines: int) -> tuple[list[Machine], FleetGroundTruth]:
+        """Create the fleet and its ground truth."""
+        if n_machines < 1:
+            raise ValueError("need at least one machine")
+        root = np.random.default_rng(self.seed)
+        machines: list[Machine] = []
+        mercurial: set[str] = set()
+        onsets: dict[str, float] = {}
+        for index in range(n_machines):
+            machine_id = f"m{index:05d}"
+            product_index = int(
+                root.choice(len(self.products), p=self._probabilities)
+            )
+            product = self.products[product_index]
+            earliest, latest = self.deployment_window
+            if latest <= earliest:
+                deploy_day = earliest
+            elif self.technology_refresh and len(self.products) > 1:
+                # Newer SKUs deploy in a window segment shifted later;
+                # segments overlap so the transition is gradual.
+                span = latest - earliest
+                k = product_index
+                n = len(self.products)
+                segment_start = earliest + span * k / (n + 1)
+                segment_end = earliest + span * (k + 2) / (n + 1)
+                deploy_day = float(root.uniform(segment_start, segment_end))
+            else:
+                deploy_day = float(root.uniform(earliest, latest))
+            cores = []
+            for core_index in range(product.cores_per_machine):
+                core_id = f"{machine_id}/c{core_index:02d}"
+                defects = ()
+                if root.random() < product.core_prevalence:
+                    defect_rng = np.random.default_rng(root.integers(2**63))
+                    defects = sample_core_defects(
+                        defect_rng, core_id, onset=product.onset
+                    )
+                    mercurial.add(core_id)
+                    onsets[core_id] = min(d.aging.onset_days for d in defects)
+                core_rng = np.random.default_rng(root.integers(2**63))
+                cores.append(
+                    Core(core_id, defects=defects, env=NOMINAL, rng=core_rng)
+                )
+            machines.append(
+                Machine(
+                    machine_id=machine_id,
+                    product=product,
+                    chip=Chip(cores),
+                    deploy_day=deploy_day,
+                )
+            )
+        return machines, FleetGroundTruth(mercurial, onsets)
+
+
+def ground_truth_map(machines: list[Machine]) -> dict[str, bool]:
+    """core id → is mercurial, for scoring detectors."""
+    truth: dict[str, bool] = {}
+    for machine in machines:
+        for core in machine.cores:
+            truth[core.core_id] = core.is_mercurial
+    return truth

@@ -1,0 +1,502 @@
+"""The fleet simulator: months of fleet time, analytically.
+
+Executing every operation of a 10k-machine fleet is impossible in any
+simulator; the paper's own observations are *rates* (Fig. 1 plots
+normalized incident rates per machine over time).  The simulator
+therefore runs the defect models in their analytic form: every active
+mercurial core has a per-day corruption rate under the production
+operation mix (:func:`repro.workloads.generator.blended_op_mix`), and
+the simulator samples Poisson incident counts per surfacing channel —
+application self-checks, crashes, machine checks, user-visible
+incidents — per tick.  Everything downstream of the events (suspicion,
+policy, triage, quarantine) is the *actual* detection stack from
+:mod:`repro.core` and :mod:`repro.detection`, not a model of it.
+
+The automated-detection series rises over the campaign for two reasons,
+both from the paper: late-onset defects keep activating (§2 "these can
+manifest long after initial installation"), and the test corpus gains
+coverage "a few times per year" as new CEE classes are root-caused
+(§6), modeled as stepwise coverage expansions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.core.report import Complaint, CoreComplaintService
+from repro.core.triage import HumanTriageModel, TriageOutcome
+from repro.detection.signals import SignalAnalyzer
+from repro.fleet.machine import Machine
+from repro.fleet.population import FleetGroundTruth
+from repro.silicon.core import Core
+from repro.silicon.defects import MachineCheckDefect
+from repro.workloads.generator import blended_op_mix
+
+
+@dataclasses.dataclass
+class SimulatorConfig:
+    """Calibration knobs; defaults land in the paper's bands."""
+
+    horizon_days: float = 365.0
+    #: steady-state lead-in simulated before t=0; events in the warmup
+    #: are processed (suspicion, quarantine) but excluded from the
+    #: reported [0, horizon) timelines, so Fig. 1 shows a managed
+    #: fleet, not the first-ever screening sweep of an unmanaged one
+    warmup_days: float = 180.0
+    tick_days: float = 1.0
+    #: effective operations/day per core counted against defect rates
+    exposed_ops_per_day: float = 2e7
+    # surfacing probabilities per silent corruption
+    p_selfcheck_surface: float = 2e-3
+    p_crash_surface: float = 6e-4
+    p_user_surface: float = 6e-4
+    # attribution: which events carry a core id
+    p_attribute_selfcheck: float = 0.9
+    p_attribute_crash: float = 0.35
+    p_attribute_mce: float = 0.9
+    p_attribute_user: float = 0.5
+    #: cap on surfaced events per core per channel per day — a core
+    #: corrupting millions of ops/day takes its machine out of
+    #: service long before millions of tickets get filed
+    max_surfaced_per_channel_per_day: int = 12
+    # background noise from plain software bugs, per machine-day
+    bg_crash_rate: float = 8e-3
+    bg_user_rate: float = 2e-5
+    # screening cadence and effort
+    online_screen_period_days: float = 7.0
+    online_corpus_ops: float = 2e5
+    offline_screen_period_days: float = 90.0
+    offline_corpus_ops: float = 2e6
+    offline_env_boost: float = 6.0
+    # §6: corpus coverage expands "a few times per year"
+    coverage_initial: float = 0.30
+    coverage_step: float = 0.10
+    coverage_expansions_per_year: float = 3.0
+    # confession testing triggered by the policy
+    confession_corpus_ops: float = 2e6
+    confession_attempts: int = 3
+    policy: PolicyConfig = dataclasses.field(default_factory=PolicyConfig)
+    suspicion_retest_threshold: float = 2.0
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything an experiment needs from one campaign."""
+
+    config: SimulatorConfig
+    events: EventLog
+    truth: FleetGroundTruth
+    n_machines: int
+    n_cores: int
+    quarantined_cores: set[str]
+    quarantine_day: dict[str, float]
+    detection_latency_days: dict[str, float]
+    triage: HumanTriageModel
+    total_corruptions: int
+    app_visible_corruptions: int
+    screening_ops_spent: float
+
+    def flagged(self) -> set[str]:
+        return set(self.quarantined_cores)
+
+    def reported_rate_series(
+        self, reporter: Reporter, bucket_days: float = 30.0
+    ) -> list[tuple[float, float]]:
+        """All-event rate per machine-day, bucketed."""
+        return self.events.rate_timeline(
+            bucket_days=bucket_days,
+            horizon_days=self.config.horizon_days,
+            reporter=reporter,
+            machines=self.n_machines,
+        )
+
+    #: event kinds that count as a *CEE incident report* (Fig. 1's
+    #: y-axis counts suspected-CEE reports, not every crash in the
+    #: fleet — background software-bug crashes are excluded because
+    #: they are never filed as CEE incidents)
+    AUTO_REPORT_KINDS = frozenset(
+        {
+            EventKind.APP_REPORT,
+            EventKind.SCREEN_FAIL,
+            EventKind.MACHINE_CHECK,
+            EventKind.SELF_CHECK_FAILURE,
+            EventKind.SANITIZER,
+        }
+    )
+
+    def cee_report_series(
+        self, reporter: Reporter, bucket_days: float = 30.0
+    ) -> list[tuple[float, float]]:
+        """Fig. 1's series proper: CEE incident reports per machine-day."""
+        kinds = (
+            self.AUTO_REPORT_KINDS
+            if reporter is Reporter.AUTOMATED
+            else {EventKind.USER_REPORT}
+        )
+        return self.events.rate_timeline(
+            bucket_days=bucket_days,
+            horizon_days=self.config.horizon_days,
+            reporter=reporter,
+            machines=self.n_machines,
+            kinds=kinds,
+        )
+
+
+class FleetSimulator:
+    """Drives a machine population through a detection campaign."""
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        truth: FleetGroundTruth,
+        config: SimulatorConfig | None = None,
+        seed: int = 0,
+    ):
+        self.machines = machines
+        self.truth = truth
+        self.config = config or SimulatorConfig()
+        self.rng = np.random.default_rng(seed)
+        self.events = EventLog()
+        self.production_mix = blended_op_mix()
+
+        n_cores = sum(len(m.cores) for m in machines)
+        # Unattributed events are dropped rather than spread across a
+        # machine's cores: the dilution weight is negligible for 16-64
+        # cores and spreading is O(cores) per event at fleet scale.
+        self.analyzer = SignalAnalyzer(tracker=SuspicionTracker())
+        self.complaints = CoreComplaintService(
+            n_cores_visible=n_cores, event_log=self.events
+        )
+        self.policy = QuarantinePolicy(self.config.policy, fleet_cores=n_cores)
+        self.triage = HumanTriageModel(np.random.default_rng(seed + 1))
+
+        self._core_by_id: dict[str, Core] = {}
+        self._machine_by_core: dict[str, Machine] = {}
+        self._mercurial: list[tuple[Machine, Core]] = []
+        for machine in machines:
+            for core in machine.cores:
+                self._core_by_id[core.core_id] = core
+                self._machine_by_core[core.core_id] = machine
+                if core.is_mercurial:
+                    self._mercurial.append((machine, core))
+
+        self.total_corruptions = 0
+        self.app_visible = 0
+        self.screening_ops = 0.0
+        self.quarantine_day: dict[str, float] = {}
+        self.detection_latency: dict[str, float] = {}
+        self._screen_cursor = 0
+
+    # -- rate helpers ---------------------------------------------------
+
+    @staticmethod
+    def _split_rates(core: Core, op_mix: dict[str, float]) -> tuple[float, float]:
+        """(silent corruption rate, machine-check rate) per op."""
+        silent = 0.0
+        noisy = 0.0
+        for defect in core.defects:
+            rate = defect.mean_rate(op_mix, core.env, core.age_days)
+            if isinstance(defect, MachineCheckDefect):
+                noisy += rate
+            else:
+                silent += rate
+        return silent, noisy
+
+    def _coverage(self, now_days: float) -> float:
+        """Automated corpus coverage: stepwise expansion (§6)."""
+        elapsed = now_days + self.config.warmup_days
+        steps = max(
+            0,
+            math.floor(elapsed / 365.0 * self.config.coverage_expansions_per_year),
+        )
+        return min(1.0, self.config.coverage_initial
+                   + steps * self.config.coverage_step)
+
+    # -- event emission ---------------------------------------------------
+
+    def _emit(self, **kwargs) -> None:
+        self.events.append(CeeEvent(**kwargs))
+
+    def _emit_incidents(
+        self, machine: Machine, core: Core, now: float, tick: float
+    ) -> None:
+        cfg = self.config
+        silent_rate, mce_rate = self._split_rates(core, self.production_mix)
+        exposed = cfg.exposed_ops_per_day * tick
+        n_corruptions = int(self.rng.poisson(silent_rate * exposed))
+        n_mce = int(self.rng.poisson(mce_rate * exposed))
+        self.total_corruptions += n_corruptions
+        cap = max(1, int(cfg.max_surfaced_per_channel_per_day * tick))
+        n_mce = min(n_mce, cap)
+
+        for _ in range(n_mce):
+            attributed = self.rng.random() < cfg.p_attribute_mce
+            self._emit(
+                time_days=now, machine_id=machine.machine_id,
+                core_id=core.core_id if attributed else None,
+                kind=EventKind.MACHINE_CHECK, reporter=Reporter.AUTOMATED,
+                detail="mce",
+            )
+
+        if n_corruptions == 0:
+            return
+        surfaced_selfcheck = min(
+            int(self.rng.binomial(n_corruptions, cfg.p_selfcheck_surface)), cap
+        )
+        surfaced_crash = min(
+            int(self.rng.binomial(n_corruptions, cfg.p_crash_surface)), cap
+        )
+        surfaced_user = min(
+            int(self.rng.binomial(n_corruptions, cfg.p_user_surface)), cap
+        )
+        self.app_visible += surfaced_selfcheck
+
+        for _ in range(surfaced_selfcheck):
+            attributed = self.rng.random() < cfg.p_attribute_selfcheck
+            if attributed:
+                self.complaints.report(
+                    Complaint(
+                        time_days=now,
+                        application=f"app{int(self.rng.integers(8))}",
+                        machine_id=machine.machine_id,
+                        core_id=core.core_id,
+                        detail="self-check failure",
+                    )
+                )
+            else:
+                self._emit(
+                    time_days=now, machine_id=machine.machine_id, core_id=None,
+                    kind=EventKind.SELF_CHECK_FAILURE,
+                    reporter=Reporter.AUTOMATED, detail="self-check failure",
+                )
+        for _ in range(surfaced_crash):
+            attributed = self.rng.random() < cfg.p_attribute_crash
+            self._emit(
+                time_days=now, machine_id=machine.machine_id,
+                core_id=core.core_id if attributed else None,
+                kind=EventKind.CRASH, reporter=Reporter.AUTOMATED,
+                detail="process crash",
+            )
+        for _ in range(surfaced_user):
+            attributed = self.rng.random() < cfg.p_attribute_user
+            self._emit(
+                time_days=now, machine_id=machine.machine_id,
+                core_id=core.core_id if attributed else None,
+                kind=EventKind.USER_REPORT, reporter=Reporter.HUMAN,
+                detail="production incident",
+            )
+
+    def _emit_background(self, now: float, tick: float) -> None:
+        cfg = self.config
+        n_machines = len(self.machines)
+        n_crash = int(self.rng.poisson(cfg.bg_crash_rate * n_machines * tick))
+        for _ in range(n_crash):
+            machine = self.machines[int(self.rng.integers(n_machines))]
+            self._emit(
+                time_days=now, machine_id=machine.machine_id, core_id=None,
+                kind=EventKind.CRASH, reporter=Reporter.AUTOMATED,
+                detail="software bug",
+            )
+        n_user = int(self.rng.poisson(cfg.bg_user_rate * n_machines * tick))
+        for _ in range(n_user):
+            machine = self.machines[int(self.rng.integers(n_machines))]
+            # Humans sometimes (wrongly) finger a specific healthy core.
+            core = machine.cores[int(self.rng.integers(len(machine.cores)))]
+            attributed = self.rng.random() < cfg.p_attribute_user
+            self._emit(
+                time_days=now, machine_id=machine.machine_id,
+                core_id=core.core_id if attributed else None,
+                kind=EventKind.USER_REPORT, reporter=Reporter.HUMAN,
+                detail="suspected bad machine",
+            )
+
+    # -- screening (analytic) ----------------------------------------------
+
+    def _screen_detection_probability(
+        self, core: Core, corpus_ops: float, env_boost: float, coverage: float
+    ) -> float:
+        silent_rate, mce_rate = self._split_rates(core, self.production_mix)
+        rate = (silent_rate + mce_rate) * env_boost * coverage
+        return 1.0 - math.exp(-rate * corpus_ops)
+
+    def _run_screening(self, now: float, tick: float) -> None:
+        """Statistical screening pass.
+
+        Healthy cores always pass, so their screening contributes only
+        cost — accounted in bulk.  Each mercurial core is "due" with
+        probability tick/period per tick (the round-robin cadence in
+        expectation), and confesses with the analytic detection
+        probability for the corpus effort at the relevant conditions.
+        """
+        cfg = self.config
+        n_cores = len(self._core_by_id)
+        coverage = self._coverage(now)
+        self.screening_ops += (
+            n_cores * tick / cfg.online_screen_period_days * cfg.online_corpus_ops
+        )
+        self.screening_ops += (
+            n_cores * tick / cfg.offline_screen_period_days * cfg.offline_corpus_ops
+        )
+        schedules = (
+            (cfg.online_screen_period_days, cfg.online_corpus_ops, 1.0, "online screen"),
+            (
+                cfg.offline_screen_period_days,
+                cfg.offline_corpus_ops,
+                cfg.offline_env_boost,
+                "offline screen",
+            ),
+        )
+        for machine, core in self._mercurial:
+            if not core.online or not core.is_defective_now():
+                continue
+            for period, corpus_ops, env_boost, label in schedules:
+                if self.rng.random() >= tick / period:
+                    continue
+                p = self._screen_detection_probability(
+                    core, corpus_ops, env_boost=env_boost, coverage=coverage
+                )
+                if self.rng.random() < p:
+                    self._emit(
+                        time_days=now,
+                        machine_id=machine.machine_id,
+                        core_id=core.core_id, kind=EventKind.SCREEN_FAIL,
+                        reporter=Reporter.AUTOMATED, detail=label,
+                    )
+
+    # -- policy + triage ----------------------------------------------------
+
+    def _confession_probability(self, core: Core, now: float) -> float:
+        return self._screen_detection_probability(
+            core,
+            self.config.confession_corpus_ops,
+            env_boost=self.config.offline_env_boost,
+            coverage=self._coverage(now),
+        )
+
+    def _quarantine(self, core_id: str, now: float) -> None:
+        core = self._core_by_id.get(core_id)
+        if core is None or core_id in self.quarantine_day:
+            return
+        core.set_online(False)
+        self.quarantine_day[core_id] = now
+        if core.is_mercurial:
+            onset = self.truth.onset_days_by_core.get(core_id, 0.0)
+            self.detection_latency[core_id] = max(0.0, now - onset)
+
+    def _apply_policy(self, now: float) -> None:
+        suspects = self.analyzer.suspects(
+            now, threshold=self.config.suspicion_retest_threshold
+        )
+        for core_id, score in suspects:
+            core = self._core_by_id.get(core_id)
+            if core is None or not core.online:
+                continue
+            confessed = False
+            decision = self.policy.decide(core_id, score, confessed=False)
+            if decision.action is Action.RETEST:
+                # Run confession testing (offline, stress conditions).
+                p = self._confession_probability(core, now) if core.is_mercurial else 0.0
+                for _ in range(self.config.confession_attempts):
+                    self.screening_ops += self.config.confession_corpus_ops
+                    if self.rng.random() < p:
+                        confessed = True
+                        break
+                if confessed:
+                    self._emit(
+                        time_days=now,
+                        machine_id=self._machine_by_core[core_id].machine_id,
+                        core_id=core_id, kind=EventKind.SCREEN_FAIL,
+                        reporter=Reporter.AUTOMATED, detail="confession",
+                    )
+                    decision = self.policy.decide(core_id, score, confessed=True)
+            if decision.action in (Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE):
+                self._quarantine(core_id, now)
+                if decision.action is Action.QUARANTINE_MACHINE:
+                    machine = self._machine_by_core[core_id]
+                    for sibling in machine.cores:
+                        self._quarantine(sibling.core_id, now)
+
+    def _run_triage(self, now: float, tick: float, new_events: list[CeeEvent]) -> None:
+        """Human side: user reports spawn investigations (§6)."""
+        for event in new_events:
+            if event.kind is not EventKind.USER_REPORT:
+                continue
+            if event.core_id is None:
+                continue
+            core = self._core_by_id[event.core_id]
+            is_cee = core.is_mercurial and core.is_defective_now()
+            if not self.triage.files_suspect(incident_is_cee=is_cee):
+                continue
+            suspect_id = event.core_id
+            if is_cee and not self.triage.attributed_core_is_right():
+                # The human fingered a sibling core on the same machine.
+                machine = self._machine_by_core[event.core_id]
+                healthy = [c for c in machine.cores if not c.is_mercurial]
+                if healthy:
+                    suspect_id = healthy[
+                        int(self.triage.rng.integers(len(healthy)))
+                    ].core_id
+            suspect = self._core_by_id[suspect_id]
+            investigation = self.triage.investigate(
+                core_id=suspect_id,
+                core_is_mercurial=suspect.is_mercurial
+                and suspect.is_defective_now(),
+                started_days=now,
+            )
+            if investigation.outcome is TriageOutcome.CONFIRMED:
+                self.analyzer.tracker.record(
+                    suspect_id, now, weight=self.config.policy.quarantine_threshold,
+                    source="human-triage",
+                )
+                self._quarantine(suspect_id, now)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the whole campaign and return the results bundle."""
+        cfg = self.config
+        now = -cfg.warmup_days
+        while now < cfg.horizon_days:
+            tick = min(cfg.tick_days, cfg.horizon_days - now)
+            now += tick
+            events_before = len(self.events)
+            for machine, core in self._mercurial:
+                if not core.online:
+                    continue
+                if core.age_days < machine.age_days(now):
+                    core.advance_age(machine.age_days(now) - core.age_days)
+                if not core.is_defective_now():
+                    continue
+                self._emit_incidents(machine, core, now, tick)
+            self._emit_background(now, tick)
+            self._run_screening(now, tick)
+            new_events = self.events.tail(events_before)
+            self.analyzer.ingest_all(new_events)
+            for suspect in self.complaints.quarantine_candidates():
+                self.analyzer.tracker.record(
+                    suspect.core_id, now, weight=2.0, source="complaint-service"
+                )
+            self._apply_policy(now)
+            self._run_triage(now, tick, new_events)
+
+        n_cores = sum(len(m.cores) for m in self.machines)
+        return SimulationResult(
+            config=cfg,
+            events=self.events,
+            truth=self.truth,
+            n_machines=len(self.machines),
+            n_cores=n_cores,
+            quarantined_cores=set(self.quarantine_day),
+            quarantine_day=dict(self.quarantine_day),
+            detection_latency_days=dict(self.detection_latency),
+            triage=self.triage,
+            total_corruptions=self.total_corruptions,
+            app_visible_corruptions=self.app_visible,
+            screening_ops_spent=self.screening_ops,
+        )

@@ -1,0 +1,81 @@
+"""Tolerating CEEs (paper §7): redundancy, checkpointing, self-checks.
+
+- :mod:`repro.mitigation.redundancy` — DMR/TMR with retry and the
+  unreliable-voter ablation.
+- :mod:`repro.mitigation.checkpoint` — granular execute-check-commit
+  with restart-on-another-core.
+- :mod:`repro.mitigation.selfcheck` — self-checking crypto/compression
+  wrappers (same-core and cross-core verification).
+- :mod:`repro.mitigation.e2e` — end-to-end checksums and replicated
+  state machines (the Colossus/Spanner patterns).
+- :mod:`repro.mitigation.resilient` — ABFT matrix algorithms, resilient
+  sorting, Blum–Kannan checkers.
+"""
+
+from repro.mitigation.bft import (
+    BftStats,
+    Commit,
+    QuorumError,
+    QuorumReplicatedService,
+)
+from repro.mitigation.checkpoint import (
+    CheckpointRuntime,
+    CheckpointStats,
+    GranuleFailedError,
+)
+from repro.mitigation.e2e import (
+    ChecksummedStore,
+    E2eStats,
+    IntegrityError,
+    ReplicatedStateMachine,
+)
+from repro.mitigation.redundancy import (
+    DmrExecutor,
+    RedundancyExhaustedError,
+    RedundantOutcome,
+    TmrExecutor,
+)
+from repro.mitigation.selective import (
+    ReplicationStats,
+    SelectiveReplicator,
+    Stage,
+    full_tmr_baseline,
+    impact_score,
+    unprotected_baseline,
+)
+from repro.mitigation.selfcheck import (
+    CheckedCipher,
+    CheckedCodec,
+    SelfCheckError,
+    SelfCheckStats,
+    selfchecked,
+)
+
+__all__ = [
+    "BftStats",
+    "Commit",
+    "QuorumError",
+    "QuorumReplicatedService",
+    "ReplicationStats",
+    "SelectiveReplicator",
+    "Stage",
+    "full_tmr_baseline",
+    "impact_score",
+    "unprotected_baseline",
+    "CheckpointRuntime",
+    "CheckpointStats",
+    "GranuleFailedError",
+    "ChecksummedStore",
+    "E2eStats",
+    "IntegrityError",
+    "ReplicatedStateMachine",
+    "DmrExecutor",
+    "RedundancyExhaustedError",
+    "RedundantOutcome",
+    "TmrExecutor",
+    "CheckedCipher",
+    "CheckedCodec",
+    "SelfCheckError",
+    "SelfCheckStats",
+    "selfchecked",
+]

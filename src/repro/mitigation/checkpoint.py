@@ -1,0 +1,134 @@
+"""Checkpoint/restart: recovering from a failed computation elsewhere.
+
+§7 asks for "system support for efficient checkpointing, to recover
+from a failed computation by restarting on a different core" paired
+with "cost-effective, application-specific detection methods, to decide
+whether to continue past a checkpoint or to retry".
+
+:class:`CheckpointRuntime` executes a stream of work items in granules.
+After each granule an application-supplied check decides commit vs
+retry; a retry re-runs the granule *on the next core in the pool*
+(escaping a mercurial core) from the last committed state.  The granule
+size is the ablated design choice: big granules amortize checkpoint
+cost but waste more work per retry (§7 cites the deterministic-replay
+literature on choosing "the largest possible computation granules").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.silicon.core import Core
+from repro.silicon.errors import MachineCheckError
+from repro.workloads.base import CoreLike
+
+S = TypeVar("S")  # checkpointed state
+T = TypeVar("T")  # work item
+
+
+@dataclasses.dataclass
+class CheckpointStats:
+    """Cost accounting for one checkpointed run."""
+
+    granules_committed: int = 0
+    granules_retried: int = 0
+    items_executed: int = 0
+    items_wasted: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_cost_items: float = 0.0
+
+    @property
+    def overhead_factor(self) -> float:
+        """Total effort relative to a perfect, uncheckpointed run."""
+        useful = self.items_executed - self.items_wasted
+        if useful <= 0:
+            return float("inf")
+        return (self.items_executed + self.checkpoint_cost_items) / useful
+
+
+class GranuleFailedError(RuntimeError):
+    """A granule failed its check on every core in the pool."""
+
+
+class CheckpointRuntime(Generic[S, T]):
+    """Granular execute-check-commit runtime over a core pool.
+
+    Args:
+        pool: cores to run on; retries rotate through the pool.
+        step: ``step(core, state, item) -> state`` — applies one item.
+            Must not mutate ``state`` in place; it returns the new
+            state (structural sharing is fine) so the runtime can
+            checkpoint by reference.
+        check: ``check(state) -> bool`` — the application-specific
+            integrity check run at each granule boundary (§7: computing
+            an invariant before committing).
+        granule: items per checkpoint interval.
+        checkpoint_cost_items: cost of taking one checkpoint, in units
+            of work items (drives the granule-size tradeoff).
+        max_attempts_per_granule: retry budget before giving up.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[Core],
+        step: Callable[[CoreLike, S, T], S],
+        check: Callable[[S], bool],
+        granule: int = 16,
+        checkpoint_cost_items: float = 1.0,
+        max_attempts_per_granule: int = 4,
+    ):
+        if not pool:
+            raise ValueError("need at least one core")
+        if granule < 1:
+            raise ValueError("granule must be >= 1")
+        self.pool = list(pool)
+        self.step = step
+        self.check = check
+        self.granule = granule
+        self.checkpoint_cost_items = checkpoint_cost_items
+        self.max_attempts_per_granule = max_attempts_per_granule
+        self.stats = CheckpointStats()
+
+    def run(self, initial_state: S, items: Sequence[T]) -> S:
+        """Process all items, retrying failed granules on other cores.
+
+        Raises:
+            GranuleFailedError: a granule failed on every attempt
+                (e.g. the check itself is broken, or every core in the
+                pool corrupts this granule).
+        """
+        state = initial_state
+        core_index = 0
+        position = 0
+        while position < len(items):
+            granule_items = items[position:position + self.granule]
+            committed = False
+            for attempt in range(self.max_attempts_per_granule):
+                core = self.pool[core_index % len(self.pool)]
+                candidate = state
+                crashed = False
+                try:
+                    for item in granule_items:
+                        candidate = self.step(core, candidate, item)
+                        self.stats.items_executed += 1
+                except MachineCheckError:
+                    crashed = True
+                if not crashed and self.check(candidate):
+                    state = candidate
+                    self.stats.granules_committed += 1
+                    self.stats.checkpoints_taken += 1
+                    self.stats.checkpoint_cost_items += self.checkpoint_cost_items
+                    committed = True
+                    break
+                # Failed: waste the granule, move to the next core.
+                self.stats.items_wasted += len(granule_items)
+                self.stats.granules_retried += 1
+                core_index += 1
+            if not committed:
+                raise GranuleFailedError(
+                    f"granule at item {position} failed "
+                    f"{self.max_attempts_per_granule} attempts"
+                )
+            position += len(granule_items)
+        return state

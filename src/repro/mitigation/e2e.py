@@ -1,0 +1,170 @@
+"""End-to-end integrity: checksummed writes and replicated updates.
+
+§6/§7: "Many of our applications already checked for SDCs; this
+checking can also detect CEEs, at minimal extra cost.  For example, the
+Colossus file system protects the write path with end-to-end checksums.
+The Spanner distributed database uses checksums in multiple ways.
+Other systems execute the same update logic, in parallel, at several
+replicas ... and we can exploit these dual computations to detect
+CEEs."  §7 frames this as the End-to-End Argument: "correctness is
+often best checked at the endpoints rather than in lower-level
+infrastructure."
+
+Two mechanisms:
+
+- :class:`ChecksummedStore` — the Colossus-style write path: the
+  *client* computes a checksum on its own core before handing data to
+  a (possibly mercurial) server core; reads re-verify at the client.
+- :class:`ReplicatedStateMachine` — the Spanner-style dual computation:
+  the same update executes on every replica's core; divergent state
+  digests expose the corrupting replica.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.workloads.base import CoreLike
+from repro.workloads.copying import copy_bytes
+from repro.workloads.hashing import crc64
+
+
+class IntegrityError(RuntimeError):
+    """An end-to-end check failed."""
+
+
+@dataclasses.dataclass
+class E2eStats:
+    writes: int = 0
+    reads: int = 0
+    write_failures_caught: int = 0
+    read_failures_caught: int = 0
+
+
+class ChecksummedStore:
+    """A blob store whose write path crosses a server core.
+
+    The client core computes the checksum; the server core moves the
+    bytes.  Corruption on the server's copy path is caught either at
+    write-verify time or at read time — never silently returned.
+    """
+
+    def __init__(self, client_core: CoreLike, server_core: CoreLike,
+                 verify_on_write: bool = True):
+        self.client_core = client_core
+        self.server_core = server_core
+        self.verify_on_write = verify_on_write
+        self.stats = E2eStats()
+        self._blobs: dict[str, bytes] = {}
+        self._checksums: dict[str, int] = {}
+
+    def put(self, name: str, data: bytes) -> None:
+        """Write with client-side checksum (and optional write-verify).
+
+        Raises:
+            IntegrityError: write-verify found the stored bytes corrupt.
+        """
+        self.stats.writes += 1
+        checksum = crc64(self.client_core, data)
+        stored = copy_bytes(self.server_core, data)
+        self._blobs[name] = stored
+        self._checksums[name] = checksum
+        if self.verify_on_write:
+            observed = crc64(self.client_core, stored)
+            if observed != checksum:
+                self.stats.write_failures_caught += 1
+                # Drop the corrupt blob: better missing than wrong.
+                del self._blobs[name]
+                del self._checksums[name]
+                raise IntegrityError(f"write-verify failed for {name!r}")
+
+    def get(self, name: str) -> bytes:
+        """Read and verify.
+
+        Raises:
+            KeyError: unknown blob.
+            IntegrityError: stored data no longer matches its checksum.
+        """
+        self.stats.reads += 1
+        data = self._blobs[name]
+        fetched = copy_bytes(self.server_core, data)
+        observed = crc64(self.client_core, fetched)
+        if observed != self._checksums[name]:
+            self.stats.read_failures_caught += 1
+            raise IntegrityError(f"checksum mismatch reading {name!r}")
+        return fetched
+
+
+@dataclasses.dataclass
+class ReplicaDivergence:
+    """One detected divergence: which replica disagreed on which update."""
+
+    update_index: int
+    minority_replicas: list[int]
+
+
+class ReplicatedStateMachine:
+    """The same update logic executed in parallel at several replicas.
+
+    State is a dict of int cells; updates are ``update(core, state) ->
+    state`` closures that must route their arithmetic through the given
+    core.  After each update the replicas' state digests are compared;
+    a minority replica is flagged (and its state repaired from the
+    majority), turning the existing replication into free CEE
+    detection, as §7 describes.
+    """
+
+    def __init__(self, cores: list[CoreLike]):
+        if len(cores) < 2:
+            raise ValueError("replication needs at least two replicas")
+        self.cores = list(cores)
+        self.states: list[dict[str, int]] = [{} for _ in cores]
+        self.divergences: list[ReplicaDivergence] = []
+        self._update_index = 0
+
+    def apply(
+        self, update: Callable[[CoreLike, dict[str, int]], dict[str, int]]
+    ) -> dict[str, int]:
+        """Apply one update everywhere; detect and repair divergence.
+
+        Returns the majority state.
+
+        Raises:
+            IntegrityError: no majority (more than half the replicas
+                disagree with each other).
+        """
+        new_states = [
+            update(core, dict(state))
+            for core, state in zip(self.cores, self.states)
+        ]
+        digests = [tuple(sorted(state.items())) for state in new_states]
+        counts: dict[tuple, int] = {}
+        for digest in digests:
+            counts[digest] = counts.get(digest, 0) + 1
+        majority_digest, majority_count = max(counts.items(), key=lambda kv: kv[1])
+        if majority_count <= len(self.cores) // 2:
+            raise IntegrityError(
+                f"no majority at update {self._update_index}"
+            )
+        minority = [
+            index for index, digest in enumerate(digests)
+            if digest != majority_digest
+        ]
+        if minority:
+            self.divergences.append(
+                ReplicaDivergence(self._update_index, minority)
+            )
+        majority_state = dict(majority_digest)
+        # Repair: minority replicas resynchronize from the majority.
+        self.states = [dict(majority_state) for _ in self.cores]
+        self._update_index += 1
+        return majority_state
+
+    def suspect_replicas(self) -> dict[int, int]:
+        """Divergence counts per replica — recidivism for replicas."""
+        counts: dict[int, int] = {}
+        for divergence in self.divergences:
+            for replica in divergence.minority_replicas:
+                counts[replica] = counts.get(replica, 0) + 1
+        return counts

@@ -1,0 +1,144 @@
+"""Blum–Kannan program checkers.
+
+§3/§7 cite Blum & Kannan, "Designing Programs That Check Their Work":
+for some functions, *checking* an answer is asymptotically cheaper than
+computing it, so a CEE-prone core's output can be validated with a
+small amount of (possibly also CEE-prone) extra work and a rigorous
+error bound.
+
+- :func:`freivalds_check` — verifies a matrix product A·B = C in
+  O(n²) per round using random ±0/1 vectors; a wrong product survives
+  k rounds with probability ≤ 2⁻ᵏ.
+- :func:`permutation_check` — verifies that two sequences are
+  permutations of each other via random evaluation of the
+  characteristic polynomial ∏(x − vᵢ) over GF(2⁶¹−1) (a polynomial
+  identity test); combined with an order check this is a full sorting
+  checker.
+- :func:`checked_computation` — the run-check-retry harness that turns
+  any checker into a mitigation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.mitigation.resilient.matfact import GF_PRIME, Matrix, _gf_mul
+from repro.silicon.units import Op
+from repro.workloads.base import CoreLike
+
+T = TypeVar("T")
+
+
+class CheckFailedError(RuntimeError):
+    """A checked computation failed every retry."""
+
+
+def _mat_vec(core: CoreLike, matrix: Matrix, vector: list[int]) -> list[int]:
+    out = []
+    for row in matrix:
+        acc = 0
+        for value, x in zip(row, vector):
+            acc = core.execute(Op.ADD, acc, core.execute(Op.MUL, value, x))
+        out.append(acc)
+    return out
+
+
+def freivalds_check(
+    core: CoreLike,
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    rounds: int = 10,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Probabilistic check that A·B == C (mod 2**64) in O(n²·rounds).
+
+    Returns True if every round agrees; a wrong C passes with
+    probability at most 2**-rounds (over the random vectors).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = len(c[0])
+    for _ in range(rounds):
+        r = [int(bit) for bit in rng.integers(0, 2, size=n)]
+        br = _mat_vec(core, b, r)
+        abr = _mat_vec(core, a, br)
+        cr = _mat_vec(core, c, r)
+        if any((x ^ y) & ((1 << 64) - 1) for x, y in zip(abr, cr)):
+            return False
+    return True
+
+
+def _char_poly_eval(core: CoreLike, values: Sequence[int], x: int) -> int:
+    """∏ (x − vᵢ) mod GF_PRIME, multiplications on the core."""
+    product = 1
+    for value in values:
+        term = (x - value) % GF_PRIME
+        product = _gf_mul(core, product, term)
+    return product
+
+
+def permutation_check(
+    core: CoreLike,
+    original: Sequence[int],
+    candidate: Sequence[int],
+    rounds: int = 3,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Are ``original`` and ``candidate`` equal as multisets?
+
+    Polynomial identity testing: the characteristic polynomials agree
+    everywhere iff the multisets are equal; evaluating at random field
+    points bounds the false-accept probability by
+    ``(len/GF_PRIME) ** rounds`` (astronomically small here).
+    """
+    if len(original) != len(candidate):
+        return False
+    rng = rng if rng is not None else np.random.default_rng(0)
+    for _ in range(rounds):
+        x = int(rng.integers(1, GF_PRIME))
+        if _char_poly_eval(core, original, x) != _char_poly_eval(
+            core, candidate, x
+        ):
+            return False
+    return True
+
+
+def sorting_checker(
+    core: CoreLike,
+    original: Sequence[int],
+    candidate: Sequence[int],
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Full sorting check: ordered AND a permutation of the input."""
+    for a, b in zip(candidate, candidate[1:]):
+        if core.execute(Op.BLT, b, a) == 1:
+            return False
+    return permutation_check(core, original, candidate, rng=rng)
+
+
+def checked_computation(
+    compute: Callable[[CoreLike], T],
+    check: Callable[[CoreLike, T], bool],
+    pool: Sequence[CoreLike],
+    max_attempts: int | None = None,
+) -> tuple[T, int]:
+    """Run-check-retry over a core pool (compute and check on
+    *different* cores each attempt).
+
+    Returns ``(result, attempts_used)``.
+
+    Raises:
+        CheckFailedError: the retry budget ran out.
+    """
+    if len(pool) < 2:
+        raise ValueError("need at least two cores (worker + checker)")
+    attempts = max_attempts if max_attempts is not None else len(pool)
+    for attempt in range(attempts):
+        worker = pool[attempt % len(pool)]
+        checker = pool[(attempt + 1) % len(pool)]
+        result = compute(worker)
+        if check(checker, result):
+            return result, attempt + 1
+    raise CheckFailedError(f"no checked result within {attempts} attempts")

@@ -1,0 +1,145 @@
+"""Selective replication of critical computations (§9).
+
+"Perhaps compilers could detect blocks of code whose correct execution
+is especially critical (via programmer annotations or impact analysis),
+and then automatically replicate just these computations."
+
+:class:`SelectiveReplicator` is the runtime such a compiler would
+target: a staged computation declares each stage's *criticality* (a
+programmer annotation) or lets :func:`impact_score` estimate it (a
+crude impact analysis: how many downstream bytes/records depend on the
+stage's output).  Critical stages execute with TMR; the rest run once.
+The point of the experiment (ablation A3) is the cost curve: full TMR
+pays 3x on everything, selective replication pays 3x only on the
+(usually small) critical fraction — §7's observation that "certain
+computations are critical enough that we are willing to pay the
+overheads" made quantitative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.mitigation.redundancy import (
+    RedundancyExhaustedError,
+    TmrExecutor,
+)
+from repro.silicon.core import Core
+from repro.workloads.base import CoreLike, WorkloadResult
+
+
+@dataclasses.dataclass(frozen=True)
+class Stage:
+    """One stage of a computation.
+
+    Attributes:
+        name: label for reports.
+        work: ``work(core) -> WorkloadResult`` — deterministic per core.
+        critical: programmer annotation; None = let impact analysis
+            decide.
+        blast_radius: how many downstream units depend on this stage's
+            output (the impact-analysis input); e.g. a metadata update
+            has a huge radius, one record's payload has radius 1.
+    """
+
+    name: str
+    work: Callable[[CoreLike], WorkloadResult]
+    critical: bool | None = None
+    blast_radius: int = 1
+
+
+def impact_score(stage: Stage) -> float:
+    """Crude impact analysis: log-scaled blast radius."""
+    import math
+
+    return math.log10(max(stage.blast_radius, 1) + 1)
+
+
+@dataclasses.dataclass
+class ReplicationStats:
+    stages_run: int = 0
+    stages_replicated: int = 0
+    single_executions: int = 0
+    replicated_executions: int = 0
+    detections: int = 0
+
+    @property
+    def cost_factor(self) -> float:
+        """Total executions relative to running every stage once."""
+        if self.stages_run == 0:
+            return 1.0
+        return (self.single_executions + self.replicated_executions) \
+            / self.stages_run
+
+
+class SelectiveReplicator:
+    """Runs staged computations, replicating only the critical stages.
+
+    Args:
+        pool: worker cores; TMR uses the first three, single-stage
+            execution round-robins over the whole pool.
+        criticality_threshold: stages with ``impact_score`` at or above
+            this are treated as critical when not explicitly annotated.
+    """
+
+    def __init__(self, pool: Sequence[Core], criticality_threshold: float = 1.0):
+        if len(pool) < 3:
+            raise ValueError("selective replication needs >= 3 cores for TMR")
+        self.pool = list(pool)
+        self.criticality_threshold = criticality_threshold
+        self.stats = ReplicationStats()
+        self._cursor = 0
+
+    def _is_critical(self, stage: Stage) -> bool:
+        if stage.critical is not None:
+            return stage.critical
+        return impact_score(stage) >= self.criticality_threshold
+
+    def run_stage(self, stage: Stage) -> WorkloadResult:
+        """Execute one stage with the protection its criticality earns.
+
+        Raises:
+            RedundancyExhaustedError: a critical stage found no
+                majority.
+        """
+        self.stats.stages_run += 1
+        if self._is_critical(stage):
+            self.stats.stages_replicated += 1
+            outcome = TmrExecutor(self.pool).run(stage.work)
+            self.stats.replicated_executions += outcome.executions
+            if outcome.detected_corruption:
+                self.stats.detections += 1
+            return outcome.result
+        core = self.pool[self._cursor % len(self.pool)]
+        self._cursor += 1
+        self.stats.single_executions += 1
+        return stage.work(core)
+
+    def run_pipeline(self, stages: Sequence[Stage]) -> list[WorkloadResult]:
+        """Run stages in order; returns their results."""
+        return [self.run_stage(stage) for stage in stages]
+
+
+def full_tmr_baseline(
+    pool: Sequence[Core], stages: Sequence[Stage]
+) -> tuple[list[WorkloadResult], int]:
+    """Everything replicated: the §3 worst-case 3x bill.
+
+    Returns (results, total executions).
+    """
+    executor = TmrExecutor(list(pool))
+    results = []
+    executions = 0
+    for stage in stages:
+        outcome = executor.run(stage.work)
+        executions += outcome.executions
+        results.append(outcome.result)
+    return results, executions
+
+
+def unprotected_baseline(
+    core: Core, stages: Sequence[Stage]
+) -> list[WorkloadResult]:
+    """Nothing replicated: the silent-corruption exposure baseline."""
+    return [stage.work(core) for stage in stages]

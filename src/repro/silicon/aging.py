@@ -1,0 +1,120 @@
+"""Aging and late-onset behaviour of defects.
+
+The paper reports that CEEs "can manifest long after initial
+installation" (§1), that faulty cores "often get worse with time; we
+have some evidence that aging is a factor" (§2), and that age-until-
+onset is one of the candidate metrics (§4).  This module provides:
+
+- :class:`AgingProfile`: per-defect latency and escalation — a defect is
+  silent until ``onset_days``, then its corruption rate grows
+  multiplicatively with post-onset age.
+- :class:`WeibullOnset`: a population-level sampler of onset ages
+  (Weibull with shape > 1 gives the wear-out behaviour expected of
+  late-life silicon defects).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class AgingProfile:
+    """How one defect's activity depends on the chip's age.
+
+    Attributes:
+        onset_days: age (days since deployment) at which the defect
+            first becomes active.  ``0`` means defective from day one
+            (a manufacturing-test escape).
+        escalation_per_year: multiplicative growth of the corruption
+            rate per year past onset.  ``1.0`` means a stable rate;
+            ``2.0`` doubles the rate every year after onset.
+        saturation: cap on the total escalation multiplier, so rates do
+            not grow without bound in long simulations.
+    """
+
+    onset_days: float = 0.0
+    escalation_per_year: float = 1.0
+    saturation: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.onset_days < 0:
+            raise ValueError("onset_days must be non-negative")
+        if self.escalation_per_year < 1.0:
+            raise ValueError("escalation_per_year must be >= 1.0")
+        if self.saturation < 1.0:
+            raise ValueError("saturation must be >= 1.0")
+
+    def is_active(self, age_days: float) -> bool:
+        """Whether the defect has manifested by ``age_days``."""
+        return age_days >= self.onset_days
+
+    def rate_multiplier(self, age_days: float) -> float:
+        """Multiplier applied to the defect's base corruption rate.
+
+        Returns 0.0 before onset; grows exponentially after onset at
+        ``escalation_per_year`` per 365 days, capped at ``saturation``.
+        """
+        if not self.is_active(age_days):
+            return 0.0
+        years_past_onset = (age_days - self.onset_days) / 365.0
+        multiplier = self.escalation_per_year ** years_past_onset
+        return min(multiplier, self.saturation)
+
+
+#: a defect present and stable from day one
+IMMEDIATE = AgingProfile(onset_days=0.0, escalation_per_year=1.0)
+
+
+class WeibullOnset:
+    """Sampler for defect onset ages across a population.
+
+    With ``shape > 1`` the hazard rate increases with age (wear-out),
+    matching the paper's evidence that aging is a factor.  A fraction of
+    defects (``escape_fraction``) are manufacturing-test escapes active
+    from day zero.
+    """
+
+    def __init__(
+        self,
+        scale_days: float = 700.0,
+        shape: float = 2.0,
+        escape_fraction: float = 0.35,
+    ):
+        if scale_days <= 0:
+            raise ValueError("scale_days must be positive")
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if not 0.0 <= escape_fraction <= 1.0:
+            raise ValueError("escape_fraction must be in [0, 1]")
+        self.scale_days = scale_days
+        self.shape = shape
+        self.escape_fraction = escape_fraction
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one onset age in days."""
+        if rng.random() < self.escape_fraction:
+            return 0.0
+        return float(self.scale_days * rng.weibull(self.shape))
+
+    def sample_profile(
+        self,
+        rng: np.random.Generator,
+        escalation_range: tuple[float, float] = (1.0, 3.0),
+    ) -> AgingProfile:
+        """Draw a full :class:`AgingProfile` (onset plus escalation)."""
+        low, high = escalation_range
+        escalation = float(rng.uniform(low, high))
+        return AgingProfile(
+            onset_days=self.sample(rng), escalation_per_year=escalation
+        )
+
+    def cdf(self, age_days: float) -> float:
+        """Probability a defect has manifested by ``age_days``."""
+        if age_days < 0:
+            return 0.0
+        weibull_part = 1.0 - math.exp(-((age_days / self.scale_days) ** self.shape))
+        return self.escape_fraction + (1.0 - self.escape_fraction) * weibull_part

@@ -1,0 +1,118 @@
+"""Two-pass assembler for the screening-test ISA.
+
+Syntax, one instruction per line::
+
+    ; comments start with ';' or '#'
+    start:              ; labels end with ':'
+        li   r1, 0x10   ; immediates are decimal or 0x hex
+        li   r2, 25
+    loop:
+        add  r3, r3, r1
+        sub  r2, r2, r4
+        bne  r2, r0, loop
+        halt
+
+Register operands are ``r0``–``r15`` and ``v0``–``v7``; branch targets
+are label names resolved to absolute instruction addresses in the
+second pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.silicon.isa import FORMATS, Instruction, validate
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly source."""
+
+    def __init__(self, line_no: int, line: str, message: str):
+        self.line_no = line_no
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_operand(token: str, kind: str, labels: dict[str, int],
+                   line_no: int, line: str) -> int:
+    token = token.strip()
+    if kind in "dab":
+        if not token.startswith("r"):
+            raise AssemblyError(line_no, line, f"expected scalar register, got {token!r}")
+        return int(token[1:])
+    if kind in "DAB":
+        if not token.startswith("v"):
+            raise AssemblyError(line_no, line, f"expected vector register, got {token!r}")
+        return int(token[1:])
+    if kind == "i":
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(line_no, line, f"bad immediate {token!r}") from None
+    if kind == "t":
+        if token in labels:
+            return labels[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(line_no, line, f"unknown label {token!r}") from None
+    raise AssemblyError(line_no, line, f"internal: bad operand kind {kind!r}")
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble source text into a validated instruction list."""
+    # Pass 1: collect labels and raw instruction lines.
+    labels: dict[str, int] = {}
+    raw: list[tuple[int, str]] = []  # (line_no, text)
+    address = 0
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        text = _strip(line)
+        if not text:
+            continue
+        while ":" in text:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(line_no, line, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(line_no, line, f"duplicate label {label!r}")
+            labels[label] = address
+            text = rest.strip()
+        if text:
+            raw.append((line_no, text))
+            address += 1
+
+    # Pass 2: parse instructions with label addresses known.
+    program: list[Instruction] = []
+    for line_no, text in raw:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in FORMATS:
+            raise AssemblyError(line_no, text, f"unknown mnemonic {mnemonic!r}")
+        fmt, _ = FORMATS[mnemonic]
+        tokens = [t for t in (parts[1].split(",") if len(parts) > 1 else []) if t.strip()]
+        if len(tokens) != len(fmt):
+            raise AssemblyError(
+                line_no, text,
+                f"{mnemonic} expects {len(fmt)} operands, got {len(tokens)}",
+            )
+        operands = tuple(
+            _parse_operand(token, kind, labels, line_no, text)
+            for token, kind in zip(tokens, fmt)
+        )
+        instruction = Instruction(mnemonic, operands)
+        try:
+            validate(instruction)
+        except ValueError as exc:
+            raise AssemblyError(line_no, text, str(exc)) from None
+        program.append(instruction)
+    return program

@@ -1,0 +1,222 @@
+"""The simulated core: the single choke point where CEEs happen.
+
+Every primitive operation performed by any workload in this repository
+executes through :meth:`Core.execute`.  A healthy core returns the
+golden result; a mercurial core lets each of its defects perturb the
+result.  The core keeps *ground-truth* counters (operations executed,
+corruptions induced, machine checks raised) which experiments use to
+score detectors — the detectors themselves never see this ground truth,
+matching the paper's black-box situation ("we have observations of the
+form 'this code has miscomputed (or crashed) on that core'").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.silicon.defects import DefectModel, MachineCheckDefect
+from repro.silicon.environment import NOMINAL, OperatingPoint
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.golden import golden_execute
+
+
+class Core:
+    """One hardware thread of execution, possibly mercurial.
+
+    Args:
+        core_id: stable identifier, e.g. ``"m0017/c05"``.
+        defects: defect models afflicting this core (empty = healthy).
+        env: initial operating point.
+        rng: random generator used for probabilistic defects; a healthy
+            core never draws from it.
+        age_days: current age since deployment, drives aging profiles.
+    """
+
+    def __init__(
+        self,
+        core_id: str,
+        defects: Sequence[DefectModel] = (),
+        env: OperatingPoint = NOMINAL,
+        rng: np.random.Generator | None = None,
+        age_days: float = 0.0,
+    ):
+        self.core_id = core_id
+        self._defects = tuple(defects)
+        for defect in self._defects:
+            if isinstance(defect, MachineCheckDefect):
+                defect.bind_core(core_id)
+        self.env = env
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.age_days = age_days
+        self.online = True
+
+        # Ground truth accounting (never visible to detectors).
+        self.ops_executed = 0
+        self.corruptions_induced = 0
+        self.machine_checks_raised = 0
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def defects(self) -> tuple[DefectModel, ...]:
+        """This core's defect models (empty for a healthy core)."""
+        return self._defects
+
+    @property
+    def is_mercurial(self) -> bool:
+        """Ground truth: does this core carry any defect at all?"""
+        return bool(self._defects)
+
+    def is_defective_now(self) -> bool:
+        """Ground truth: any defect already past its onset age?"""
+        return any(d.aging.is_active(self.age_days) for d in self._defects)
+
+    # -- environment / lifecycle ---------------------------------------
+
+    def set_environment(self, env: OperatingPoint) -> None:
+        """Move the core to a new (f, V, T) operating point."""
+        self.env = env
+
+    def advance_age(self, days: float) -> None:
+        """Age the core (drives onset and escalation)."""
+        if days < 0:
+            raise ValueError("cannot get younger")
+        self.age_days += days
+
+    def set_online(self, online: bool) -> None:
+        """Mark the core schedulable (True) or quarantined/drained."""
+        self.online = online
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, op: str, *operands):
+        """Execute one primitive operation, applying any defects.
+
+        Returns the (possibly corrupted) result.
+
+        Raises:
+            CoreOfflineError: the core has been quarantined/drained.
+            MachineCheckError: a fail-noisy defect fired.
+        """
+        if not self.online:
+            raise CoreOfflineError(self.core_id)
+        self.ops_executed += 1
+        result = golden_execute(op, *operands)
+        if not self._defects:
+            return result
+        golden = result
+        for defect in self._defects:
+            try:
+                result = defect.apply(
+                    op, operands, result, self.env, self.age_days, self.rng
+                )
+            except MachineCheckError:
+                self.machine_checks_raised += 1
+                raise
+        if result != golden:
+            self.corruptions_induced += 1
+        return result
+
+    def golden(self, op: str, *operands):
+        """Defect-free result; the oracle used by ground-truth scoring."""
+        return golden_execute(op, *operands)
+
+    def effective_rate(self, op: str) -> float:
+        """Analytic per-execution corruption probability for ``op`` now."""
+        total = 0.0
+        for defect in self._defects:
+            total += defect.effective_rate(op, self.env, self.age_days)
+        return min(total, 1.0)
+
+    def mean_rate(self, op_mix: dict[str, float]) -> float:
+        """Analytic expected corruptions per op under an operation mix."""
+        total = 0.0
+        for defect in self._defects:
+            total += defect.mean_rate(op_mix, self.env, self.age_days)
+        return min(total, 1.0)
+
+    def reset_counters(self) -> None:
+        """Zero the ground-truth accounting."""
+        self.ops_executed = 0
+        self.corruptions_induced = 0
+        self.machine_checks_raised = 0
+
+    def __repr__(self) -> str:
+        kind = "mercurial" if self.is_mercurial else "healthy"
+        return f"<Core {self.core_id} ({kind}, {len(self._defects)} defects)>"
+
+
+class Chip:
+    """A multi-core CPU package.
+
+    The paper observes that CEEs "typically afflict specific cores on
+    multi-core CPUs, rather than the entire chip"; the natural object is
+    therefore a chip whose cores are mostly healthy with at most one or
+    two mercurial members.
+    """
+
+    def __init__(self, cores: Sequence[Core]):
+        if not cores:
+            raise ValueError("a chip needs at least one core")
+        self.cores = list(cores)
+
+    @classmethod
+    def build(
+        cls,
+        chip_id: str,
+        n_cores: int,
+        defects_by_core: dict[int, Sequence[DefectModel]] | None = None,
+        env: OperatingPoint = NOMINAL,
+        seed: int = 0,
+        age_days: float = 0.0,
+    ) -> "Chip":
+        """Construct a chip with ``n_cores`` and optional defects.
+
+        Args:
+            defects_by_core: maps core index → defect models; all other
+                cores are healthy.
+        """
+        defects_by_core = defects_by_core or {}
+        root = np.random.default_rng(seed)
+        cores = []
+        for index in range(n_cores):
+            core_rng = np.random.default_rng(root.integers(2**63))
+            cores.append(
+                Core(
+                    core_id=f"{chip_id}/c{index:02d}",
+                    defects=defects_by_core.get(index, ()),
+                    env=env,
+                    rng=core_rng,
+                    age_days=age_days,
+                )
+            )
+        return cls(cores)
+
+    @property
+    def mercurial_cores(self) -> list[Core]:
+        """Ground truth: the defective members of this chip."""
+        return [core for core in self.cores if core.is_mercurial]
+
+    def set_environment(self, env: OperatingPoint) -> None:
+        """Apply one operating point to every core of the chip."""
+        for core in self.cores:
+            core.set_environment(env)
+
+    def advance_age(self, days: float) -> None:
+        """Age all cores together (they share the package)."""
+        for core in self.cores:
+            core.advance_age(days)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Chip {len(self.cores)} cores, "
+            f"{len(self.mercurial_cores)} mercurial>"
+        )

@@ -1,0 +1,32 @@
+"""Exceptions raised by the simulated silicon."""
+
+from __future__ import annotations
+
+
+class SiliconError(Exception):
+    """Base class for simulated-hardware errors."""
+
+
+class MachineCheckError(SiliconError):
+    """A machine-check exception raised by a core.
+
+    The paper classifies machine checks as "more disruptive" than
+    immediately-detected wrong answers (§2) but notes they are at least
+    *noisy*: the OS sees them and can log them, which makes them a
+    detection signal (§6).
+    """
+
+    def __init__(self, core_id: str, op: str, message: str = ""):
+        self.core_id = core_id
+        self.op = op
+        super().__init__(
+            message or f"machine check on core {core_id} executing {op!r}"
+        )
+
+
+class CoreOfflineError(SiliconError):
+    """Raised when work is dispatched to a core that has been removed."""
+
+    def __init__(self, core_id: str):
+        self.core_id = core_id
+        super().__init__(f"core {core_id} is offline (quarantined or drained)")

@@ -1,0 +1,183 @@
+"""Golden (defect-free) semantics of every primitive operation.
+
+These are the answers a healthy core produces.  Scalar operations are
+64-bit unsigned with wraparound; vector operations apply the scalar
+semantics lane-wise over equal-length tuples; crypto operations are the
+real AES field primitives (the S-box is derived from first principles:
+multiplicative inverse in GF(2^8) followed by the AES affine transform).
+
+A defective core computes the golden result first and then lets its
+defects perturb it — mirroring the paper's observation that CEEs "could
+only be detected by checking the results of these instructions against
+the expected results".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.silicon.units import Op
+
+MASK64 = (1 << 64) - 1
+WORD_BITS = 64
+
+
+def _u64(value: int) -> int:
+    return value & MASK64
+
+
+def _gf256_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    product = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            product ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+    return product & 0xFF
+
+
+def _build_sbox() -> Tuple[int, ...]:
+    """Derive the AES S-box: inverse in GF(2^8) then affine transform."""
+    # Multiplicative inverses via brute force (256 entries; done once).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf256_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    box = []
+    for x in range(256):
+        b = inverse[x]
+        s = 0
+        for bit in range(8):
+            v = (
+                (b >> bit)
+                ^ (b >> ((bit + 4) % 8))
+                ^ (b >> ((bit + 5) % 8))
+                ^ (b >> ((bit + 6) % 8))
+                ^ (b >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            s |= v << bit
+        box.append(s)
+    return tuple(box)
+
+
+AES_SBOX: Tuple[int, ...] = _build_sbox()
+AES_INV_SBOX: Tuple[int, ...] = tuple(
+    AES_SBOX.index(i) for i in range(256)
+)
+
+
+def _shl(a: int, b: int) -> int:
+    return _u64(a << (b % WORD_BITS))
+
+
+def _shr(a: int, b: int) -> int:
+    return _u64(a) >> (b % WORD_BITS)
+
+
+def _rotl(a: int, b: int) -> int:
+    b %= WORD_BITS
+    a = _u64(a)
+    if b == 0:
+        return a
+    return _u64((a << b) | (a >> (WORD_BITS - b)))
+
+
+def _cmp(a: int, b: int) -> int:
+    """Three-way unsigned compare: 0 equal, 1 less-than, 2 greater-than."""
+    a, b = _u64(a), _u64(b)
+    if a == b:
+        return 0
+    return 1 if a < b else 2
+
+
+def _div(a: int, b: int) -> int:
+    if _u64(b) == 0:
+        raise ZeroDivisionError("division by zero on simulated core")
+    return _u64(a) // _u64(b)
+
+
+def _mod(a: int, b: int) -> int:
+    if _u64(b) == 0:
+        raise ZeroDivisionError("modulo by zero on simulated core")
+    return _u64(a) % _u64(b)
+
+
+def _vec(fn: Callable[..., int]) -> Callable[..., Tuple[int, ...]]:
+    def apply(*vectors: Sequence[int]) -> Tuple[int, ...]:
+        lengths = {len(v) for v in vectors}
+        if len(lengths) != 1:
+            raise ValueError(f"vector lane mismatch: {sorted(lengths)}")
+        return tuple(fn(*lanes) for lanes in zip(*vectors))
+
+    return apply
+
+
+def _vperm(vector: Sequence[int], indices: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(vector[i % len(vector)] for i in indices)
+
+
+def _copy(data: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(_u64(x) for x in data)
+
+
+def _cas(current: int, expected: int, new: int) -> int:
+    return _u64(new) if _u64(current) == _u64(expected) else _u64(current)
+
+
+GOLDEN: dict[str, Callable] = {
+    Op.ADD: lambda a, b: _u64(a + b),
+    Op.SUB: lambda a, b: _u64(a - b),
+    Op.AND: lambda a, b: _u64(a & b),
+    Op.OR: lambda a, b: _u64(a | b),
+    Op.XOR: lambda a, b: _u64(a ^ b),
+    Op.NOT: lambda a: _u64(~a),
+    Op.NEG: lambda a: _u64(-a),
+    Op.SHL: _shl,
+    Op.SHR: _shr,
+    Op.ROTL: _rotl,
+    Op.CMP: _cmp,
+    Op.POPCNT: lambda a: bin(_u64(a)).count("1"),
+    Op.MUL: lambda a, b: _u64(a * b),
+    Op.MULH: lambda a, b: _u64((_u64(a) * _u64(b)) >> 64),
+    Op.DIV: _div,
+    Op.MOD: _mod,
+    Op.VADD: _vec(lambda a, b: _u64(a + b)),
+    Op.VSUB: _vec(lambda a, b: _u64(a - b)),
+    Op.VMUL: _vec(lambda a, b: _u64(a * b)),
+    Op.VXOR: _vec(lambda a, b: _u64(a ^ b)),
+    Op.VAND: _vec(lambda a, b: _u64(a & b)),
+    Op.VOR: _vec(lambda a, b: _u64(a | b)),
+    Op.VSHL: _vec(_shl),
+    Op.VSHR: _vec(_shr),
+    Op.VDOT: lambda a, b: _u64(sum(_u64(x * y) for x, y in zip(a, b))),
+    Op.VSUM: lambda a: _u64(sum(_u64(x) for x in a)),
+    Op.VPERM: _vperm,
+    Op.LOAD: lambda a: _u64(a),
+    Op.STORE: lambda a: _u64(a),
+    Op.COPY: _copy,
+    Op.SBOX: lambda a: AES_SBOX[a & 0xFF],
+    Op.INV_SBOX: lambda a: AES_INV_SBOX[a & 0xFF],
+    Op.GFMUL: _gf256_mul,
+    Op.CAS: _cas,
+    Op.FETCH_ADD: lambda cur, delta: _u64(cur + delta),
+    Op.XCHG: lambda cur, new: _u64(new),
+    Op.BEQ: lambda a, b: 1 if _u64(a) == _u64(b) else 0,
+    Op.BLT: lambda a, b: 1 if _u64(a) < _u64(b) else 0,
+}
+
+
+def golden_execute(op: str, *operands):
+    """Compute the defect-free result of ``op`` over ``operands``."""
+    try:
+        fn = GOLDEN[op]
+    except KeyError:
+        raise KeyError(f"unknown operation {op!r}") from None
+    return fn(*operands)

@@ -1,0 +1,126 @@
+"""Production-like workloads that compute through simulated cores.
+
+Every workload here is implemented from scratch (no stdlib shortcuts on
+the computational path) and routes its primitive operations through
+:meth:`repro.silicon.core.Core.execute`, so defects corrupt them the
+way real mercurial cores corrupted Google's production software (§2).
+"""
+
+from repro.workloads.base import (
+    CoreLike,
+    OpCountingCore,
+    OracleComparison,
+    WorkloadResult,
+    digest_bytes,
+    digest_ints,
+    measure_op_mix,
+    run_with_oracle,
+)
+from repro.workloads.compression import (
+    CorruptStreamError,
+    compress,
+    compression_workload,
+    decompress,
+)
+from repro.workloads.copying import (
+    copy_bytes,
+    copy_words,
+    copying_workload,
+    unchecked_copy_workload,
+)
+from repro.workloads.crypto import (
+    crypto_workload,
+    decrypt_block,
+    decrypt_ecb,
+    encrypt_block,
+    encrypt_ecb,
+    expand_key,
+)
+from repro.workloads.database import (
+    BTreeIndex,
+    QueryStats,
+    Record,
+    Replica,
+    ReplicatedDb,
+    database_workload,
+    probe_replica,
+)
+from repro.workloads.filesystem import FsError, MiniFs, filesystem_workload
+from repro.workloads.generator import (
+    STANDARD_MIX,
+    WorkloadMixer,
+    WorkloadSpec,
+    blended_op_mix,
+    measured_mix,
+    spec_by_name,
+)
+from repro.workloads.hashing import crc64, fnv1a, hashing_workload, mix64
+from repro.workloads.locking import (
+    SharedState,
+    locking_workload,
+    run_locked_counter,
+)
+from repro.workloads.sorting import (
+    is_sorted_on,
+    merge_sort,
+    quicksort,
+    sorting_workload,
+)
+from repro.workloads.vectorops import axpy, dot, vector_workload, vsum, xor_fold
+
+__all__ = [
+    "CoreLike",
+    "OpCountingCore",
+    "OracleComparison",
+    "WorkloadResult",
+    "digest_bytes",
+    "digest_ints",
+    "measure_op_mix",
+    "run_with_oracle",
+    "CorruptStreamError",
+    "compress",
+    "compression_workload",
+    "decompress",
+    "copy_bytes",
+    "copy_words",
+    "copying_workload",
+    "unchecked_copy_workload",
+    "crypto_workload",
+    "decrypt_block",
+    "decrypt_ecb",
+    "encrypt_block",
+    "encrypt_ecb",
+    "expand_key",
+    "BTreeIndex",
+    "QueryStats",
+    "Record",
+    "Replica",
+    "ReplicatedDb",
+    "database_workload",
+    "probe_replica",
+    "FsError",
+    "MiniFs",
+    "filesystem_workload",
+    "STANDARD_MIX",
+    "WorkloadMixer",
+    "WorkloadSpec",
+    "blended_op_mix",
+    "measured_mix",
+    "spec_by_name",
+    "crc64",
+    "fnv1a",
+    "hashing_workload",
+    "mix64",
+    "SharedState",
+    "locking_workload",
+    "run_locked_counter",
+    "is_sorted_on",
+    "merge_sort",
+    "quicksort",
+    "sorting_workload",
+    "axpy",
+    "dot",
+    "vector_workload",
+    "vsum",
+    "xor_fold",
+]

@@ -1,0 +1,168 @@
+"""Workload plumbing: every workload computes *through* a core.
+
+A workload is a piece of realistic software whose primitive operations
+(arithmetic, compares, copies, table lookups, atomics) execute via
+:meth:`Core.execute`, so a mercurial core corrupts it exactly where a
+real one would.  The module provides:
+
+- :class:`WorkloadResult` — what one unit of work reports upward
+  (including whether the *application's own* checks caught anything,
+  which is what feeds the §6 application-level signals);
+- :class:`OpCountingCore` — a transparent wrapper measuring a
+  workload's operation mix, used to parameterize the analytic fleet
+  tier;
+- :func:`run_with_oracle` — run the same work on a suspect core and a
+  known-good reference and diff the outputs (ground-truth scoring and
+  the basis of dual-execution detection).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.silicon.core import Core
+
+
+class CoreLike(Protocol):
+    """Anything that can execute primitive operations."""
+
+    core_id: str
+
+    def execute(self, op: str, *operands):
+        """Execute one primitive operation; may corrupt the result."""
+        ...
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Outcome of one unit of work.
+
+    Attributes:
+        name: workload name.
+        output_digest: digest of the produced output (comparable across
+            runs/cores; computed host-side, not through the core, so the
+            digest itself cannot be corrupted).
+        app_detected: the workload's own integrity checks tripped.
+        crashed: the work died with an exception (§2: defective cores
+            exhibit "both wrong results and exceptions").
+        detail: context for logs.
+        units: how many items/blocks/records were processed.
+    """
+
+    name: str
+    output_digest: int
+    app_detected: bool = False
+    crashed: bool = False
+    detail: str = ""
+    units: int = 0
+
+
+def digest_bytes(data: bytes) -> int:
+    """Host-side FNV-1a digest used to compare outputs across cores.
+
+    Deliberately *not* routed through a core: this is the experimenter's
+    oracle hash, immune to the defect under study.
+    """
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def digest_ints(values) -> int:
+    """Host-side digest of an int sequence."""
+    h = 0xCBF29CE484222325
+    for value in values:
+        for shift in range(0, 64, 8):
+            h ^= (value >> shift) & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class OpCountingCore:
+    """Wraps a core, tallying executed operations by mnemonic.
+
+    Used to measure workload *operation mixes* — which fraction of a
+    workload's dynamic operations hit each functional unit — feeding the
+    analytic tier of the fleet simulator and the test-coverage analysis
+    ("depends on test coverage", §4).
+    """
+
+    def __init__(self, inner: Core):
+        self.inner = inner
+        self.core_id = inner.core_id
+        self.counts: collections.Counter = collections.Counter()
+
+    def execute(self, op: str, *operands):
+        """Tally and forward to the wrapped core."""
+        self.counts[op] += 1
+        return self.inner.execute(op, *operands)
+
+    def golden(self, op: str, *operands):
+        """Defect-free semantics via the wrapped core."""
+        return self.inner.golden(op, *operands)
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations executed through this wrapper."""
+        return sum(self.counts.values())
+
+    def op_mix(self) -> dict[str, float]:
+        """Normalized operation mix (fractions summing to 1)."""
+        total = self.total_ops
+        if total == 0:
+            return {}
+        return {op: count / total for op, count in self.counts.items()}
+
+
+def measure_op_mix(
+    work: Callable[[CoreLike], object], seed: int = 0
+) -> dict[str, float]:
+    """Run ``work`` once on a healthy instrumented core; return its mix."""
+    counting = OpCountingCore(
+        Core("oracle/mix", rng=np.random.default_rng(seed))
+    )
+    work(counting)
+    return counting.op_mix()
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleComparison:
+    """Result of running identical work on suspect and reference cores."""
+
+    suspect: WorkloadResult
+    reference: WorkloadResult
+
+    @property
+    def outputs_differ(self) -> bool:
+        """Ground truth: did the suspect produce a different output?"""
+        return self.suspect.output_digest != self.reference.output_digest
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Wrong output that the application's own checks did not catch."""
+        return (
+            self.outputs_differ
+            and not self.suspect.app_detected
+            and not self.suspect.crashed
+        )
+
+
+def run_with_oracle(
+    work: Callable[[CoreLike], WorkloadResult],
+    suspect: CoreLike,
+    reference: CoreLike,
+) -> OracleComparison:
+    """Run the same deterministic work on two cores and compare.
+
+    ``work`` must be deterministic given the core (seed any randomness
+    outside).  The reference core is assumed healthy; in experiments it
+    is constructed with no defects, mirroring how the paper's engineers
+    checked results "against the expected results".
+    """
+    return OracleComparison(suspect=work(suspect), reference=work(reference))

@@ -1,0 +1,181 @@
+"""AES-128 implemented from scratch, one S-box lookup at a time.
+
+The paper's most striking anecdote (§2) is "a deterministic AES
+mis-computation, which was 'self-inverting': encrypting and decrypting
+on the same core yielded the identity function, but decryption
+elsewhere yielded gibberish."  Reproducing that requires a *real* AES
+whose table lookups and field multiplications run through the core's
+crypto unit — this module is that implementation (FIPS-197, verified
+against the standard test vectors in the test suite).
+
+Layout: the 16-byte state is column-major (state[r + 4c]), matching
+FIPS-197.  ShiftRows is wiring (a fixed byte permutation) and stays
+host-side; SubBytes, MixColumns and AddRoundKey execute on the core.
+"""
+
+from __future__ import annotations
+
+from repro.silicon.units import Op
+from repro.workloads.base import CoreLike, WorkloadResult, digest_bytes
+
+N_ROUNDS = 10
+BLOCK_BYTES = 16
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+_SHIFT_ROWS = tuple(
+    (r + 4 * ((c + r) % 4)) for c in range(4) for r in range(4)
+)
+_INV_SHIFT_ROWS = tuple(_SHIFT_ROWS.index(i) for i in range(16))
+
+
+def expand_key(core: CoreLike, key: bytes) -> list[bytes]:
+    """FIPS-197 key schedule: 11 round keys from a 16-byte key."""
+    if len(key) != 16:
+        raise ValueError("AES-128 needs a 16-byte key")
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 4 * (N_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord (wiring)
+            temp = [core.execute(Op.SBOX, b) & 0xFF for b in temp]  # SubWord
+            temp[0] = core.execute(Op.XOR, temp[0], _RCON[i // 4 - 1]) & 0xFF
+        words.append(
+            [core.execute(Op.XOR, a, b) & 0xFF
+             for a, b in zip(words[i - 4], temp)]
+        )
+    return [
+        bytes(sum((words[4 * r + c] for c in range(4)), []))
+        for r in range(N_ROUNDS + 1)
+    ]
+
+
+def _add_round_key(core: CoreLike, state: list[int], round_key: bytes) -> list[int]:
+    # The AES datapath is byte-wide: results are truncated to 8 bits
+    # even when a defect flips a higher bit of the 64-bit ALU result.
+    return [core.execute(Op.XOR, s, k) & 0xFF for s, k in zip(state, round_key)]
+
+
+def _sub_bytes(core: CoreLike, state: list[int]) -> list[int]:
+    return [core.execute(Op.SBOX, b) & 0xFF for b in state]
+
+
+def _inv_sub_bytes(core: CoreLike, state: list[int]) -> list[int]:
+    return [core.execute(Op.INV_SBOX, b) & 0xFF for b in state]
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[_SHIFT_ROWS[i]] for i in range(16)]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[_INV_SHIFT_ROWS[i]] for i in range(16)]
+
+
+def _mix_single_column(core: CoreLike, col: list[int], matrix: tuple) -> list[int]:
+    out = []
+    for row in matrix:
+        acc = 0
+        for coefficient, byte in zip(row, col):
+            term = core.execute(Op.GFMUL, coefficient, byte)
+            acc = core.execute(Op.XOR, acc, term) & 0xFF
+        out.append(acc)
+    return out
+
+
+_MIX = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+_INV_MIX = ((14, 11, 13, 9), (9, 14, 11, 13), (13, 9, 14, 11), (11, 13, 9, 14))
+
+
+def _mix_columns(core: CoreLike, state: list[int], matrix: tuple) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        column = state[4 * c:4 * c + 4]
+        out[4 * c:4 * c + 4] = _mix_single_column(core, column, matrix)
+    return out
+
+
+def encrypt_block(core: CoreLike, block: bytes, round_keys: list[bytes]) -> bytes:
+    """Encrypt one 16-byte block."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError("block must be 16 bytes")
+    state = _add_round_key(core, list(block), round_keys[0])
+    for round_index in range(1, N_ROUNDS):
+        state = _sub_bytes(core, state)
+        state = _shift_rows(state)
+        state = _mix_columns(core, state, _MIX)
+        state = _add_round_key(core, state, round_keys[round_index])
+    state = _sub_bytes(core, state)
+    state = _shift_rows(state)
+    state = _add_round_key(core, state, round_keys[N_ROUNDS])
+    return bytes(state)
+
+
+def decrypt_block(core: CoreLike, block: bytes, round_keys: list[bytes]) -> bytes:
+    """Decrypt one 16-byte block (inverse cipher, FIPS-197 §5.3)."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError("block must be 16 bytes")
+    state = _add_round_key(core, list(block), round_keys[N_ROUNDS])
+    for round_index in range(N_ROUNDS - 1, 0, -1):
+        state = _inv_shift_rows(state)
+        state = _inv_sub_bytes(core, state)
+        state = _add_round_key(core, state, round_keys[round_index])
+        state = _mix_columns(core, state, _INV_MIX)
+    state = _inv_shift_rows(state)
+    state = _inv_sub_bytes(core, state)
+    state = _add_round_key(core, state, round_keys[0])
+    return bytes(state)
+
+
+def _pad(data: bytes) -> bytes:
+    """PKCS#7."""
+    pad = BLOCK_BYTES - (len(data) % BLOCK_BYTES)
+    return data + bytes([pad] * pad)
+
+
+def _unpad(data: bytes) -> bytes:
+    if not data or len(data) % BLOCK_BYTES:
+        raise ValueError("bad padded length")
+    pad = data[-1]
+    if not 1 <= pad <= BLOCK_BYTES or data[-pad:] != bytes([pad] * pad):
+        raise ValueError("bad padding")
+    return data[:-pad]
+
+
+def encrypt_ecb(core: CoreLike, data: bytes, key: bytes) -> bytes:
+    """ECB over PKCS#7-padded data (mode kept simple on purpose —
+    the experiments study the block function, not mode security)."""
+    round_keys = expand_key(core, key)
+    padded = _pad(data)
+    out = bytearray()
+    for start in range(0, len(padded), BLOCK_BYTES):
+        out.extend(encrypt_block(core, padded[start:start + BLOCK_BYTES], round_keys))
+    return bytes(out)
+
+
+def decrypt_ecb(core: CoreLike, data: bytes, key: bytes) -> bytes:
+    """Inverse of :func:`encrypt_ecb`; raises ValueError on bad padding."""
+    round_keys = expand_key(core, key)
+    out = bytearray()
+    for start in range(0, len(data), BLOCK_BYTES):
+        out.extend(decrypt_block(core, data[start:start + BLOCK_BYTES], round_keys))
+    return _unpad(bytes(out))
+
+
+def crypto_workload(core: CoreLike, data: bytes, key: bytes) -> WorkloadResult:
+    """Encrypt-decrypt round trip with an identity self-check.
+
+    This is precisely the check that *fails to detect* the self-
+    inverting defect: the round trip on the defective core is the
+    identity, so ``app_detected`` stays False even though the
+    ciphertext is wrong for the rest of the world.  Experiment E3
+    exploits exactly this blindness.
+    """
+    ciphertext = encrypt_ecb(core, data, key)
+    round_trip = decrypt_ecb(core, ciphertext, key)
+    return WorkloadResult(
+        name="crypto",
+        output_digest=digest_bytes(ciphertext),
+        app_detected=round_trip != data,
+        units=len(ciphertext) // BLOCK_BYTES,
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures: healthy cores, defective cores, pools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.silicon.core import Core
+
+
+@pytest.fixture
+def healthy_core() -> Core:
+    return Core("test/h0", rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def reference_core() -> Core:
+    return Core("test/ref", rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def healthy_pool() -> list[Core]:
+    return [
+        Core(f"test/p{i}", rng=np.random.default_rng(10 + i)) for i in range(6)
+    ]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

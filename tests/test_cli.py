@@ -1,0 +1,38 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("F1", "E1", "E14"):
+            assert eid in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E13"]) == 0
+        out = capsys.readouterr().out
+        assert "E13" in out and "complaint" in out
+
+    def test_run_lowercase_id(self, capsys):
+        assert main(["run", "e13"]) == 0
+
+    def test_unknown_id_fails_politely(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_ci_scale_kwargs_accepted(self, capsys):
+        assert main(["run", "E10", "--scale", "ci"]) == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cases_screens_all(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "self_inverting_aes" in out
+        assert "confessed: True" in out

@@ -1,0 +1,95 @@
+"""Event log analytics."""
+
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+
+
+def _event(t, machine="m0", core="m0/c0", kind=EventKind.CRASH,
+           reporter=Reporter.AUTOMATED, app=None):
+    return CeeEvent(
+        time_days=t, machine_id=machine, core_id=core, kind=kind,
+        reporter=reporter, application=app,
+    )
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(_event(1.0))
+        log.extend([_event(2.0), _event(3.0)])
+        assert len(log) == 3
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.append(_event(1.0, kind=EventKind.CRASH))
+        log.append(_event(2.0, kind=EventKind.MACHINE_CHECK))
+        assert len(log.filter(kind=EventKind.CRASH)) == 1
+
+    def test_filter_by_reporter(self):
+        log = EventLog()
+        log.append(_event(1.0, reporter=Reporter.HUMAN))
+        log.append(_event(2.0, reporter=Reporter.AUTOMATED))
+        assert len(log.filter(reporter=Reporter.HUMAN)) == 1
+
+    def test_filter_time_window_half_open(self):
+        log = EventLog()
+        for t in (0.0, 5.0, 10.0):
+            log.append(_event(t))
+        assert len(log.filter(since=5.0, until=10.0)) == 1
+
+    def test_filter_with_predicate(self):
+        log = EventLog()
+        log.append(_event(1.0, core="m0/c1"))
+        log.append(_event(2.0, core="m0/c2"))
+        selected = log.filter(predicate=lambda e: e.core_id == "m0/c2")
+        assert len(selected) == 1
+
+    def test_per_core_counts_skip_unattributed(self):
+        log = EventLog()
+        log.append(_event(1.0, core="m0/c1"))
+        log.append(_event(2.0, core=None))
+        counts = log.per_core_counts()
+        assert counts == {"m0/c1": 1}
+
+    def test_per_machine_counts(self):
+        log = EventLog()
+        log.append(_event(1.0, machine="m1"))
+        log.append(_event(2.0, machine="m1"))
+        log.append(_event(3.0, machine="m2"))
+        assert log.per_machine_counts()["m1"] == 2
+
+    def test_tail(self):
+        log = EventLog()
+        log.append(_event(1.0))
+        log.append(_event(2.0))
+        assert [e.time_days for e in log.tail(1)] == [2.0]
+
+
+class TestRateTimeline:
+    def test_buckets_and_normalization(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 15.0):
+            log.append(_event(t))
+        series = log.rate_timeline(
+            bucket_days=10.0, horizon_days=20.0, machines=10
+        )
+        assert len(series) == 2
+        assert series[0][1] == 2 / (10.0 * 10)
+        assert series[1][1] == 1 / (10.0 * 10)
+
+    def test_kind_filter(self):
+        log = EventLog()
+        log.append(_event(1.0, kind=EventKind.CRASH))
+        log.append(_event(1.0, kind=EventKind.USER_REPORT))
+        series = log.rate_timeline(
+            bucket_days=10.0, horizon_days=10.0,
+            kinds={EventKind.USER_REPORT},
+        )
+        assert series[0][1] == 1 / 10.0
+
+    def test_negative_time_events_excluded(self):
+        """Warmup events fall outside the reported window."""
+        log = EventLog()
+        log.append(_event(-5.0))
+        log.append(_event(5.0))
+        series = log.rate_timeline(bucket_days=10.0, horizon_days=10.0)
+        assert series[0][1] == 1 / 10.0

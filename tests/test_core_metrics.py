@@ -1,0 +1,104 @@
+"""The §4 metrics."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    Confusion,
+    FleetMetrics,
+    confusion,
+    core_incidence_fraction,
+    incidence_per_kmachine,
+    onset_stats,
+    stickiness,
+    visible_corruption_rate,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        truth = {"a": True, "b": True, "c": False, "d": False}
+        result = confusion(truth, flagged={"a", "c"})
+        assert (result.true_positives, result.false_positives,
+                result.false_negatives, result.true_negatives) == (1, 1, 1, 1)
+
+    def test_precision_recall(self):
+        result = Confusion(8, 2, 4, 100)
+        assert result.precision == pytest.approx(0.8)
+        assert result.recall == pytest.approx(8 / 12)
+        assert result.false_positive_rate == pytest.approx(2 / 102)
+
+    def test_empty_denominators(self):
+        empty = Confusion(0, 0, 0, 0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+
+
+class TestIncidence:
+    def test_per_kmachine(self):
+        assert incidence_per_kmachine(4, 4000) == pytest.approx(1.0)
+
+    def test_core_fraction(self):
+        assert core_incidence_fraction(2, 1000) == pytest.approx(0.002)
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            incidence_per_kmachine(1, 0)
+
+
+class TestOnsetStats:
+    def test_censoring_counts_beyond_horizon(self):
+        stats = onset_stats([10.0, 20.0, 900.0, 1000.0], horizon_days=365.0)
+        assert stats.observed == 2
+        assert stats.censored == 2
+        assert stats.censored_fraction == 0.5
+        assert stats.median_days == pytest.approx(15.0)
+
+    def test_all_censored_yields_nan(self):
+        stats = onset_stats([400.0], horizon_days=365.0)
+        assert stats.observed == 0
+        assert math.isnan(stats.mean_days)
+
+
+class TestRatesAndStickiness:
+    def test_visible_rate(self):
+        assert visible_corruption_rate(6, 3.0) == pytest.approx(2.0)
+
+    def test_visible_rate_needs_positive_hours(self):
+        with pytest.raises(ValueError):
+            visible_corruption_rate(1, 0.0)
+
+    def test_stickiness_amplification(self):
+        assert stickiness(2, 10) == pytest.approx(5.0)
+
+    def test_stickiness_no_roots(self):
+        assert stickiness(0, 5) == 0.0
+
+
+class TestFleetMetrics:
+    def _bundle(self):
+        return FleetMetrics(
+            machines=1000,
+            cores=32000,
+            mercurial_cores_truth=4,
+            mercurial_cores_detected=3,
+            detection=Confusion(3, 1, 1, 31995),
+            onset=onset_stats([0.0, 100.0, 200.0, 900.0], 365.0),
+            visible_rate_per_hour=0.01,
+            stickiness=2.5,
+        )
+
+    def test_per_kmachine_views(self):
+        bundle = self._bundle()
+        assert bundle.truth_per_kmachine == pytest.approx(4.0)
+        assert bundle.detected_per_kmachine == pytest.approx(3.0)
+
+    def test_coverage_shortfall(self):
+        assert self._bundle().coverage_shortfall == pytest.approx(0.25)
+
+    def test_render_mentions_key_numbers(self):
+        text = self._bundle().render()
+        assert "per 1000 machines" in text
+        assert "precision" in text
+        assert "stickiness" in text

@@ -1,0 +1,80 @@
+"""Complaint service and concentration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventKind, EventLog
+from repro.core.report import Complaint, CoreComplaintService, _binomial_tail
+
+
+def _complaint(core, app="app0", t=0.0):
+    machine = core.rsplit("/", 1)[0]
+    return Complaint(
+        time_days=t, application=app, machine_id=machine, core_id=core
+    )
+
+
+class TestBinomialTail:
+    def test_certainty_cases(self):
+        assert _binomial_tail(10, 0, 0.5) == 1.0
+        assert _binomial_tail(10, 11, 0.5) == 0.0
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        for n, k, p in ((50, 5, 0.02), (100, 3, 0.001), (20, 10, 0.5)):
+            expected = stats.binom.sf(k - 1, n, p)
+            assert _binomial_tail(n, k, p) == pytest.approx(expected, rel=1e-9)
+
+
+class TestComplaintService:
+    def test_concentrated_reports_become_suspects(self):
+        service = CoreComplaintService(n_cores_visible=1000)
+        for index in range(6):
+            service.report(_complaint("m1/c3", app=f"app{index % 2}", t=index))
+        suspects = service.analyze()
+        assert suspects[0].core_id == "m1/c3"
+        assert suspects[0].p_value < 1e-6
+        assert suspects[0].grounds_for_quarantine
+
+    def test_spread_reports_are_dismissed(self):
+        rng = np.random.default_rng(0)
+        service = CoreComplaintService(n_cores_visible=1000)
+        for index in range(60):
+            core = f"m{rng.integers(100)}/c{rng.integers(10)}"
+            service.report(_complaint(core, t=index))
+        assert not service.quarantine_candidates()
+
+    def test_single_application_not_quarantine_grounds(self):
+        """Concentration from one app could be that app's bug."""
+        service = CoreComplaintService(n_cores_visible=100000)
+        for index in range(6):
+            service.report(_complaint("m1/c3", app="only-app", t=index))
+        suspect = service.analyze()[0]
+        assert suspect.p_value < 1e-4
+        assert not suspect.grounds_for_quarantine
+
+    def test_min_reports_filter(self):
+        service = CoreComplaintService(n_cores_visible=1000)
+        service.report(_complaint("m1/c1"))
+        assert service.analyze(min_reports=2) == []
+
+    def test_reports_mirrored_into_event_log(self):
+        log = EventLog()
+        service = CoreComplaintService(n_cores_visible=10, event_log=log)
+        service.report(_complaint("m0/c0"))
+        assert len(log) == 1
+        assert log.filter(kind=EventKind.APP_REPORT)
+
+    def test_empty_service_analyzes_empty(self):
+        assert CoreComplaintService(n_cores_visible=10).analyze() == []
+
+    def test_needs_positive_population(self):
+        with pytest.raises(ValueError):
+            CoreComplaintService(n_cores_visible=0)
+
+    def test_complaints_against(self):
+        service = CoreComplaintService(n_cores_visible=10)
+        service.report(_complaint("m0/c0"))
+        service.report(_complaint("m0/c1"))
+        assert len(service.complaints_against("m0/c0")) == 1

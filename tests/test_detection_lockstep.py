@@ -1,0 +1,69 @@
+"""Lockstep pair execution."""
+
+import numpy as np
+import pytest
+
+from repro.detection.lockstep import LockstepMismatch, LockstepPair
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.units import FunctionalUnit, Op
+from repro.workloads.hashing import fnv1a
+
+
+def _pair(defective_primary=False, rate=1.0):
+    defects = [
+        StuckBitDefect("d", bit=1, base_rate=rate, unit=FunctionalUnit.ALU)
+    ]
+    primary = Core(
+        "ls/a", defects=defects if defective_primary else (),
+        rng=np.random.default_rng(0),
+    )
+    shadow = Core("ls/b", rng=np.random.default_rng(1))
+    return LockstepPair(primary, shadow)
+
+
+class TestLockstep:
+    def test_healthy_pair_agrees(self):
+        pair = _pair()
+        assert pair.execute(Op.ADD, 2, 3) == 5
+        assert pair.mismatches == 0
+
+    def test_mismatch_detected_immediately(self):
+        pair = _pair(defective_primary=True)
+        with pytest.raises(LockstepMismatch) as excinfo:
+            pair.execute(Op.XOR, 0, 0)
+        assert excinfo.value.result_a != excinfo.value.result_b
+        assert pair.mismatches == 1
+
+    def test_mismatch_does_not_say_which_core(self):
+        pair = _pair(defective_primary=True)
+        try:
+            pair.execute(Op.XOR, 0, 0)
+        except LockstepMismatch as mismatch:
+            # Both answers are carried; neither is labeled correct.
+            assert {mismatch.result_a, mismatch.result_b} == {0, 2}
+
+    def test_workload_runs_unchanged_on_pair(self):
+        pair = _pair()
+        healthy = Core("ls/solo", rng=np.random.default_rng(2))
+        assert fnv1a(pair, b"abc") == fnv1a(healthy, b"abc")
+
+    def test_intermittent_defect_caught_mid_workload(self):
+        pair = _pair(defective_primary=True, rate=2e-3)
+        with pytest.raises(LockstepMismatch):
+            for index in range(400):
+                fnv1a(pair, bytes([index % 256]) * 16)
+
+    def test_cost_factor_is_two(self):
+        assert _pair().cost_factor == 2.0
+
+    def test_members_must_be_distinct(self):
+        core = Core("ls/x", rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LockstepPair(core, core)
+
+    def test_both_members_execute_every_op(self):
+        pair = _pair()
+        pair.execute(Op.ADD, 1, 1)
+        assert pair.primary.ops_executed == 1
+        assert pair.shadow.ops_executed == 1

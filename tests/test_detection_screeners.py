@@ -1,0 +1,143 @@
+"""Online and offline screeners."""
+
+import numpy as np
+import pytest
+
+from repro.detection.offline import OfflineScreener, OfflineScreenerConfig
+from repro.detection.online import OnlineScreener, OnlineScreenerConfig
+from repro.detection.screener import (
+    Automation,
+    Mode,
+    ScreeningBudget,
+    ScreenResult,
+)
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.environment import NOMINAL
+from repro.silicon.sensitivity import ThermalSensitivity, VoltageMarginSensitivity
+from repro.silicon.units import FunctionalUnit
+
+
+def _gated_core(seed=0):
+    """A defect that only fires with voltage margin eroded."""
+    return Core(
+        "scr/gated",
+        defects=[
+            StuckBitDefect(
+                "volt", bit=7, base_rate=1e-7,
+                sensitivity=VoltageMarginSensitivity(factor_per_50mv=50.0),
+                unit=FunctionalUnit.ALU,
+            )
+        ],
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _loud_core(seed=0):
+    return Core(
+        "scr/loud",
+        defects=[StuckBitDefect("loud", bit=3, base_rate=5e-3,
+                                unit=FunctionalUnit.ALU)],
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestOnlineScreener:
+    def test_axes_declaration(self):
+        assert OnlineScreener.axes.mode is Mode.ONLINE
+        assert OnlineScreener.axes.automation is Automation.AUTOMATED
+
+    def test_catches_loud_defect(self):
+        assert OnlineScreener().screen_core(_loud_core()).confessed
+
+    def test_misses_environment_gated_defect(self):
+        assert not OnlineScreener().screen_core(_gated_core()).confessed
+
+    def test_round_skips_offline_cores(self, healthy_pool):
+        healthy_pool[0].set_online(False)
+        results = OnlineScreener().round(healthy_pool, fraction=1.0)
+        screened = {r.core_id for r in results}
+        assert healthy_pool[0].core_id not in screened
+
+    def test_round_fraction_validated(self, healthy_pool):
+        with pytest.raises(ValueError):
+            OnlineScreener().round(healthy_pool, fraction=0.0)
+
+    def test_duty_cycle_drives_repetitions(self):
+        lean = OnlineScreenerConfig(duty_cycle=0.001)
+        rich = OnlineScreenerConfig(duty_cycle=0.05)
+        core = Core("scr/h", rng=np.random.default_rng(0))
+        ops_lean = OnlineScreener(config=lean).screen_core(core).ops_cost
+        ops_rich = OnlineScreener(config=rich).screen_core(core).ops_cost
+        assert ops_rich > ops_lean
+
+    def test_budget_accumulates(self, healthy_pool):
+        screener = OnlineScreener()
+        screener.round(healthy_pool)
+        assert screener.budget.cores_screened == len(healthy_pool)
+        assert screener.budget.total_ops > 0
+
+
+class TestOfflineScreener:
+    def test_axes_declaration(self):
+        assert OfflineScreener.axes.mode is Mode.OFFLINE
+
+    def test_catches_environment_gated_defect(self):
+        screener = OfflineScreener(
+            config=OfflineScreenerConfig(repetitions_per_point=1)
+        )
+        result = screener.screen_core(_gated_core())
+        assert result.confessed
+        # Confession happened at a named out-of-nominal condition.
+        assert any("@" in name for name in result.failed_tests)
+
+    def test_restores_environment_and_online_state(self):
+        core = _gated_core()
+        core.set_environment(NOMINAL)
+        OfflineScreener().screen_core(core)
+        assert core.env == NOMINAL
+        assert core.online
+
+    def test_charges_drain_cost(self):
+        config = OfflineScreenerConfig(drain_coreseconds=240.0)
+        result = OfflineScreener(config=config).screen_core(
+            Core("scr/h2", rng=np.random.default_rng(0))
+        )
+        assert result.drain_cost_coreseconds == 240.0
+
+    def test_sweep_schedule_includes_stress_points(self):
+        screener = OfflineScreener()
+        points = screener.sweep_schedule()
+        nominal_count = len(screener.dvfs.states) * len(
+            screener.config.temperatures_c
+        )
+        assert len(points) == nominal_count + 3  # 3 stress points
+
+    def test_thermal_gated_defect_caught_by_temperature_sweep(self):
+        core = Core(
+            "scr/hot",
+            defects=[
+                StuckBitDefect(
+                    "hot", bit=2, base_rate=5e-6,
+                    sensitivity=ThermalSensitivity(factor_per_10c=8.0),
+                    unit=FunctionalUnit.ALU,
+                )
+            ],
+            rng=np.random.default_rng(3),
+        )
+        assert OfflineScreener().screen_core(core).confessed
+
+    def test_screen_population_covers_everyone(self, healthy_pool):
+        screener = OfflineScreener(
+            config=OfflineScreenerConfig(repetitions_per_point=1)
+        )
+        results = screener.screen_population(healthy_pool[:2])
+        assert len(results) == 2
+
+
+class TestScreeningBudget:
+    def test_render_mentions_confessions(self):
+        budget = ScreeningBudget()
+        budget.add(ScreenResult("c", passed=False, failed_tests=["x"],
+                                tests_run=3, ops_cost=10))
+        assert "1 confessions" in budget.render()

@@ -1,0 +1,91 @@
+"""Signal analysis and the sanitizer model."""
+
+import numpy as np
+
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.detection.sanitizer import SanitizerModel
+from repro.detection.signals import DEFAULT_WEIGHTS, SignalAnalyzer
+
+
+def _event(core, kind=EventKind.CRASH, t=0.0, machine="m0", app="app"):
+    return CeeEvent(
+        time_days=t, machine_id=machine, core_id=core, kind=kind,
+        reporter=Reporter.AUTOMATED, application=app,
+    )
+
+
+class TestSignalAnalyzer:
+    def test_attributed_event_raises_core_suspicion(self):
+        analyzer = SignalAnalyzer()
+        analyzer.ingest(_event("m0/c1", EventKind.MACHINE_CHECK))
+        assert analyzer.tracker.score("m0/c1", 0.0) == \
+            DEFAULT_WEIGHTS[EventKind.MACHINE_CHECK]
+
+    def test_screen_fail_weighs_most(self):
+        assert DEFAULT_WEIGHTS[EventKind.SCREEN_FAIL] == max(
+            DEFAULT_WEIGHTS.values()
+        )
+
+    def test_unattributed_event_spread_over_machine(self):
+        analyzer = SignalAnalyzer(
+            cores_by_machine={"m0": ["m0/c0", "m0/c1"]}
+        )
+        analyzer.ingest(_event(None, EventKind.CRASH, machine="m0"))
+        assert analyzer.tracker.score("m0/c0", 0.0) > 0
+        assert analyzer.tracker.score("m0/c0", 0.0) == \
+            analyzer.tracker.score("m0/c1", 0.0)
+
+    def test_unattributed_event_on_unknown_machine_dropped(self):
+        analyzer = SignalAnalyzer()
+        analyzer.ingest(_event(None, EventKind.CRASH, machine="ghost"))
+        assert analyzer.tracker.tracked_cores() == []
+
+    def test_repeated_signals_become_suspects(self):
+        analyzer = SignalAnalyzer()
+        for t in range(3):
+            analyzer.ingest(_event("m0/c7", EventKind.SELF_CHECK_FAILURE,
+                                   t=float(t)))
+        suspects = analyzer.suspects(now_days=3.0, threshold=2.0)
+        assert suspects and suspects[0][0] == "m0/c7"
+
+    def test_register_machine_after_construction(self):
+        analyzer = SignalAnalyzer()
+        analyzer.register_machine("m9", ["m9/c0"])
+        analyzer.ingest(_event(None, machine="m9"))
+        assert analyzer.tracker.score("m9/c0", 0.0) > 0
+
+    def test_ingest_all(self):
+        analyzer = SignalAnalyzer()
+        analyzer.ingest_all([_event("m0/c0"), _event("m0/c0")])
+        assert analyzer.tracker.signals("m0/c0") == 2
+
+
+class TestSanitizerModel:
+    def test_catch_probability_respected(self):
+        log = EventLog()
+        model = SanitizerModel(np.random.default_rng(0), catch_probability=1.0)
+        assert model.observe_corruption(log, 1.0, "m0", "m0/c0", "app")
+        assert len(log) == 1
+        assert log.filter(kind=EventKind.SANITIZER)
+
+    def test_zero_catch_probability_never_emits(self):
+        log = EventLog()
+        model = SanitizerModel(np.random.default_rng(0), catch_probability=0.0)
+        for _ in range(50):
+            assert not model.observe_corruption(log, 1.0, "m0", "m0/c0", "a")
+        assert len(log) == 0
+
+    def test_background_noise_is_unattributed(self):
+        log = EventLog()
+        model = SanitizerModel(
+            np.random.default_rng(1), background_rate_per_machineday=0.5
+        )
+        emitted = model.emit_background(
+            log, time_days=0.0, machine_ids=["m0", "m1"], span_days=30.0
+        )
+        assert emitted == len(log) > 0
+        assert all(event.core_id is None for event in log)
+
+    def test_background_respects_empty_fleet(self):
+        model = SanitizerModel(np.random.default_rng(0))
+        assert model.emit_background(EventLog(), 0.0, [], 10.0) == 0

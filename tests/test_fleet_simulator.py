@@ -1,0 +1,158 @@
+"""Fleet simulator integration (small scale for CI)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.events import EventKind, Reporter
+from repro.core.metrics import confusion
+from repro.fleet.population import FleetBuilder, ground_truth_map
+from repro.fleet.product import CpuProduct, DEFAULT_PRODUCTS
+from repro.fleet.simulator import FleetSimulator, SimulatorConfig
+from repro.silicon.aging import WeibullOnset
+
+
+def _dense_products(scale=40.0):
+    return tuple(
+        dataclasses.replace(p, core_prevalence=p.core_prevalence * scale)
+        for p in DEFAULT_PRODUCTS
+    )
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    builder = FleetBuilder(
+        products=_dense_products(), seed=11,
+        deployment_window=(-700.0, 0.0),
+    )
+    machines, truth = builder.build(400)
+    config = SimulatorConfig(horizon_days=120.0, warmup_days=0.0)
+    simulator = FleetSimulator(machines, truth, config, seed=3)
+    result = simulator.run()
+    return machines, truth, result
+
+
+class TestCampaign:
+    def test_produces_events(self, small_campaign):
+        _, _, result = small_campaign
+        assert len(result.events) > 0
+
+    def test_quarantines_only_with_evidence(self, small_campaign):
+        machines, truth, result = small_campaign
+        detection = confusion(ground_truth_map(machines), result.flagged())
+        # With confession-gated policy, precision should be high.
+        if result.quarantined_cores:
+            assert detection.precision >= 0.8
+
+    def test_detects_some_mercurial_cores(self, small_campaign):
+        _, truth, result = small_campaign
+        assert truth.n_mercurial > 0
+        detected = result.quarantined_cores & truth.mercurial_core_ids
+        assert detected  # a 4-month campaign catches the loud ones
+
+    def test_detection_latency_recorded(self, small_campaign):
+        _, truth, result = small_campaign
+        for core_id, latency in result.detection_latency_days.items():
+            assert core_id in truth.mercurial_core_ids
+            assert latency >= 0.0
+
+    def test_quarantined_cores_stop_producing_events(self, small_campaign):
+        _, _, result = small_campaign
+        for core_id, q_day in result.quarantine_day.items():
+            later = [
+                e for e in result.events
+                if e.core_id == core_id and e.time_days > q_day + 1.0
+                and e.kind is not EventKind.USER_REPORT
+            ]
+            assert later == []
+
+    def test_event_series_available_for_both_reporters(self, small_campaign):
+        _, _, result = small_campaign
+        auto = result.cee_report_series(Reporter.AUTOMATED, bucket_days=30.0)
+        human = result.cee_report_series(Reporter.HUMAN, bucket_days=30.0)
+        assert len(auto) == len(human) == 4
+
+    def test_screening_cost_accounted(self, small_campaign):
+        _, _, result = small_campaign
+        assert result.screening_ops_spent > 0
+
+
+class TestConfigKnobs:
+    def test_zero_background_noise_yields_no_bg_crashes(self):
+        builder = FleetBuilder(products=_dense_products(), seed=13)
+        machines, truth = builder.build(100)
+        config = SimulatorConfig(
+            horizon_days=30.0, warmup_days=0.0,
+            bg_crash_rate=0.0, bg_user_rate=0.0,
+        )
+        result = FleetSimulator(machines, truth, config, seed=1).run()
+        software_bug_crashes = [
+            e for e in result.events
+            if e.kind is EventKind.CRASH and e.detail == "software bug"
+        ]
+        assert software_bug_crashes == []
+
+    def test_coverage_expansion_steps(self):
+        builder = FleetBuilder(products=_dense_products(), seed=13)
+        machines, truth = builder.build(50)
+        config = SimulatorConfig(
+            horizon_days=10.0, warmup_days=0.0,
+            coverage_initial=0.4, coverage_step=0.2,
+            coverage_expansions_per_year=2.0,
+        )
+        simulator = FleetSimulator(machines, truth, config, seed=1)
+        assert simulator._coverage(0.0) == pytest.approx(0.4)
+        assert simulator._coverage(183.0) == pytest.approx(0.6)
+        assert simulator._coverage(2000.0) == 1.0  # capped
+
+    def test_no_detectors_means_no_detection(self):
+        """Ablation: with screening disabled AND no surfacing channels,
+        corruption accumulates invisibly — the pre-awareness world the
+        paper's §1 anecdote describes."""
+        quiet = (
+            CpuProduct(
+                "v", "quiet", 32, core_prevalence=2e-3,
+                onset=WeibullOnset(),
+            ),
+        )
+        machines, truth = FleetBuilder(products=quiet, seed=17).build(150)
+        config = SimulatorConfig(
+            horizon_days=60.0, warmup_days=0.0,
+            online_corpus_ops=0.0, offline_corpus_ops=0.0,
+            confession_corpus_ops=0.0,
+            p_selfcheck_surface=0.0, p_crash_surface=0.0,
+            p_user_surface=0.0,
+            bg_crash_rate=0.0, bg_user_rate=0.0,
+        )
+        result = FleetSimulator(machines, truth, config, seed=2).run()
+        assert truth.n_mercurial > 0
+        assert result.total_corruptions > 0  # damage is real...
+        # ...and invisible — except for fail-noisy (machine-check)
+        # defects, which are detectable by construction (§2: machine
+        # checks are disruptive but at least observable).
+        from repro.silicon.defects import MachineCheckDefect
+
+        core_by_id = {
+            core.core_id: core
+            for machine in machines
+            for core in machine.cores
+        }
+        for core_id in result.quarantined_cores:
+            defects = core_by_id[core_id].defects
+            assert any(isinstance(d, MachineCheckDefect) for d in defects)
+
+    def test_app_selfchecks_alone_catch_loud_cores(self):
+        """Even with zero screening, application-level checks (§6's
+        'many of our applications already checked for SDCs') surface
+        the loud mercurial cores."""
+        machines, truth = FleetBuilder(
+            products=_dense_products(), seed=17,
+            deployment_window=(-700.0, 0.0),
+        ).build(200)
+        config = SimulatorConfig(
+            horizon_days=60.0, warmup_days=0.0,
+            online_corpus_ops=0.0, offline_corpus_ops=0.0,
+        )
+        result = FleetSimulator(machines, truth, config, seed=2).run()
+        detected = result.quarantined_cores & truth.mercurial_core_ids
+        assert detected

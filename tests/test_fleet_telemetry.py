@@ -1,0 +1,109 @@
+"""MCE log and crash-dump analyzers."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventKind, EventLog
+from repro.fleet.telemetry import (
+    CrashDump,
+    CrashDumpAnalyzer,
+    MceLogAnalyzer,
+    MceRecord,
+    fleet_health_dashboard,
+)
+
+
+def _mce(core="m0/c1", corrected=False, t=0.0):
+    return MceRecord(time_days=t, machine_id="m0", bank=3,
+                     core_id=core, corrected=corrected)
+
+
+class TestMceAnalyzer:
+    def test_uncorrected_always_becomes_event(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer()
+        added = analyzer.analyze([_mce(corrected=False)], log)
+        assert added == 1
+        assert log.filter(kind=EventKind.MACHINE_CHECK)
+
+    def test_corrected_errors_suppressed_below_threshold(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer(corrected_excess_threshold=5)
+        analyzer.analyze([_mce(corrected=True, t=float(i)) for i in range(4)], log)
+        assert len(log) == 0
+
+    def test_corrected_recidivism_surfaces_once(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer(corrected_excess_threshold=5)
+        analyzer.analyze(
+            [_mce(corrected=True, t=float(i)) for i in range(12)], log
+        )
+        events = log.filter(kind=EventKind.MACHINE_CHECK)
+        assert len(events) == 1
+        assert "recidivism" in events[0].detail
+        assert analyzer.corrected_recidivists() == [("m0/c1", 12)]
+
+    def test_unscoped_corrected_records_ignored(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer(corrected_excess_threshold=2)
+        analyzer.analyze(
+            [_mce(core=None, corrected=True, t=float(i)) for i in range(5)],
+            log,
+        )
+        assert len(log) == 0
+
+
+class TestCrashDumps:
+    def test_pinned_fraction_controls_attribution(self):
+        analyzer = CrashDumpAnalyzer(np.random.default_rng(0),
+                                     pinned_fraction=1.0)
+        dump = analyzer.synthesize_dump(1.0, "m0", "m0/c3")
+        assert dump.pinned_core_id == "m0/c3"
+        analyzer = CrashDumpAnalyzer(np.random.default_rng(0),
+                                     pinned_fraction=0.0)
+        dump = analyzer.synthesize_dump(1.0, "m0", "m0/c3")
+        assert dump.pinned_core_id is None
+
+    def test_analyze_emits_crash_events(self):
+        log = EventLog()
+        analyzer = CrashDumpAnalyzer(np.random.default_rng(0))
+        dumps = [
+            CrashDump(time_days=1.0, machine_id="m0", process="db",
+                      pinned_core_id="m0/c1"),
+            CrashDump(time_days=2.0, machine_id="m1", process="kernel",
+                      pinned_core_id=None, kernel=True),
+        ]
+        assert analyzer.analyze(dumps, log) == 2
+        events = log.filter(kind=EventKind.CRASH)
+        assert events[0].core_id == "m0/c1"
+        assert events[1].core_id is None
+        assert "kernel" in events[1].detail
+
+    def test_invalid_pinned_fraction(self):
+        with pytest.raises(ValueError):
+            CrashDumpAnalyzer(np.random.default_rng(0), pinned_fraction=1.5)
+
+
+class TestDashboard:
+    def test_ranks_by_signal_volume(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer()
+        analyzer.analyze(
+            [_mce(core="m0/c1"), _mce(core="m0/c1"), _mce(core="m2/c0")],
+            log,
+        )
+        dashboard = fleet_health_dashboard(log)
+        assert dashboard[0].core_id == "m0/c1"
+        assert dashboard[0].machine_checks == 2
+        assert dashboard[0].total_signals == 2
+
+    def test_top_n_limit(self):
+        log = EventLog()
+        analyzer = MceLogAnalyzer()
+        analyzer.analyze(
+            [_mce(core=f"m{i}/c0") for i in range(20)], log
+        )
+        assert len(fleet_health_dashboard(log, top_n=5)) == 5
+
+    def test_empty_log_empty_dashboard(self):
+        assert fleet_health_dashboard(EventLog()) == []

@@ -1,0 +1,184 @@
+"""Integration: the experiment runners reproduce the paper's shapes.
+
+These run the same code as the benchmarks at reduced scale and assert
+the qualitative claims (who wins, direction, bands) rather than
+absolute numbers — the reproduction contract from DESIGN.md §3.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    run_abft,
+    run_aes_case,
+    run_aging,
+    run_fvt,
+    run_isolation,
+    run_mitigation_ladder,
+    run_propagation,
+    run_rate_spread,
+    run_redundancy_cost,
+    run_report_concentration,
+    run_screening_tradeoff,
+    run_symptoms,
+)
+
+
+class TestRegistry:
+    def test_all_fifteen_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7",
+            "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+        }
+
+    def test_every_entry_has_title_and_runner(self):
+        for eid, (title, runner) in EXPERIMENTS.items():
+            assert title and callable(runner)
+
+
+class TestE3AesCase:
+    def test_all_five_observations_hold(self):
+        result = run_aes_case()
+        assert result["ciphertext_differs"]
+        assert result["same_core_roundtrip_identity"]
+        assert result["cross_core_garbage"]
+        assert result["corpus_catches"]
+        assert result["checked_cipher_catches"]
+
+
+class TestE4Propagation:
+    def test_bit_flips_at_single_position(self):
+        result = run_propagation()
+        assert result["n_flips"] > 0
+        assert len(result["flip_positions"]) == 1  # one fixed position
+
+    def test_only_defective_replica_errs(self):
+        result = run_propagation()
+        errors = result["replica_errors"]
+        assert errors[0] == 0.0 and errors[2] == 0.0 and errors[1] > 0.0
+
+    def test_gc_loses_live_blocks(self):
+        result = run_propagation()
+        assert result["gc_lost_blocks"] > 0
+        assert result["late_detected_losses"] > 0
+
+
+class TestE5RedundancyCost:
+    def test_factors_match_section3(self):
+        result = run_redundancy_cost()
+        assert result["dmr_factor"] == pytest.approx(2.0, rel=0.05)
+        assert result["tmr_factor"] == pytest.approx(3.0, rel=0.05)
+
+
+class TestE6RateSpread:
+    def test_many_orders_of_magnitude(self):
+        result = run_rate_spread(n_defects=150)
+        assert result["spread_orders"] >= 3.0  # "many orders of magnitude"
+
+
+class TestE7Fvt:
+    def test_frequency_sensitive_rate_rises_with_frequency(self):
+        result = run_fvt()
+        assert result["freq_rates"] == sorted(result["freq_rates"])
+
+    def test_voltage_defect_shows_low_frequency_anomaly(self):
+        result = run_fvt()
+        rates = result["volt_rates"]
+        assert rates == sorted(rates, reverse=True)  # worse at LOW freq
+
+    def test_shared_logic_hits_both_families(self):
+        result = run_fvt()
+        assert result["copy_corruptions"] > 0
+        assert result["vector_corruptions"] > 0
+
+
+class TestE8Triage:
+    def test_roughly_half_confirmed(self):
+        result = run_triage_small()
+        assert 0.3 <= result["confirmed_fraction"] <= 0.7
+
+
+def run_triage_small():
+    from repro.analysis.experiments import run_triage
+
+    return run_triage(n_incidents=120, seed=23)
+
+
+class TestE9Screening:
+    def test_offline_catches_what_online_misses(self):
+        result = run_screening_tradeoff(n_rates=40)
+        assert not result["online_caught_gated"]
+        assert result["offline_caught_gated"]
+
+    def test_faster_cadence_detects_sooner(self):
+        result = run_screening_tradeoff(n_rates=40)
+        by_label = dict(zip(result["labels"], result["frontier"]))
+        assert by_label["online daily"]["median_days_to_detect"] < \
+            by_label["online weekly"]["median_days_to_detect"]
+
+    def test_cost_ordering(self):
+        result = run_screening_tradeoff(n_rates=40)
+        by_label = dict(zip(result["labels"], result["frontier"]))
+        assert by_label["online daily"]["compute_cost_fraction"] > \
+            by_label["online weekly"]["compute_cost_fraction"]
+
+
+class TestE10Isolation:
+    def test_core_quarantine_strands_far_less(self):
+        result = run_isolation(n_machines=20)
+        assert result["core_stranded"] < result["machine_stranded"] / 5
+        assert result["machine_healthy_stranded"] > 0
+
+    def test_safe_tasks_reclaim_capacity(self):
+        result = run_isolation(n_machines=20)
+        assert result["safe_task_placements"] > 0
+
+
+class TestE11MitigationLadder:
+    def test_redundancy_eliminates_escapes(self):
+        result = run_mitigation_ladder(n_units=25)
+        assert result["escaped_unprotected"] > 0
+        assert result["escaped_dmr"] == 0
+        assert result["escaped_tmr"] == 0
+
+
+class TestE12Abft:
+    def test_vanilla_wrong_abft_never_silent(self):
+        result = run_abft(n_trials=6)
+        assert result["vanilla_wrong"] > 0
+        assert result["abft_silent_wrong"] == 0
+        assert result["plain_sort_wrong"]
+        assert result["resilient_sort_ok"]
+        assert result["lu_detections"] > 0
+
+
+class TestE13Reports:
+    def test_concentrated_core_is_top_suspect(self):
+        result = run_report_concentration()
+        assert result["top_suspect"] == "m0042/c07"
+        assert "m0042/c07" in result["candidates"]
+
+
+class TestE14Aging:
+    def test_model_and_empirical_cdf_agree(self):
+        result = run_aging(n_defects=2000)
+        assert result["model_cdf_365"] == pytest.approx(0.5, abs=0.1)
+
+    def test_escalation_monotone(self):
+        result = run_aging(n_defects=500)
+        assert result["escalation"] == sorted(result["escalation"])
+
+    def test_censoring_reported(self):
+        result = run_aging(n_defects=2000)
+        assert 0.0 < result["censored_fraction_730"] < 0.6
+
+
+class TestE2Symptoms:
+    def test_observes_multiple_symptom_classes(self):
+        result = run_symptoms(n_cores=20, seed=3)
+        nonzero = [s for s, c in result["counts"].items() if c > 0]
+        assert len(nonzero) >= 2
+
+    def test_rendered_table_lists_risk_ranks(self):
+        result = run_symptoms(n_cores=10, seed=3)
+        assert "(1)" in result["rendered"] and "(4)" in result["rendered"]

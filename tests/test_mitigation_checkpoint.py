@@ -1,0 +1,110 @@
+"""Checkpoint/restart runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation.checkpoint import (
+    CheckpointRuntime,
+    GranuleFailedError,
+)
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.units import FunctionalUnit, Op
+
+
+def _step(core, state, item):
+    return state + [core.execute(Op.ADD, state[-1] if state else 0, item)]
+
+
+def _check(state):
+    # prefix sums must be non-decreasing for non-negative items
+    return all(b >= a for a, b in zip(state, state[1:]))
+
+
+def _bad_core(rate=0.1, seed=0):
+    return Core(
+        "cp/bad",
+        defects=[StuckBitDefect("d", bit=62, base_rate=rate,
+                                unit=FunctionalUnit.ALU)],
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestHealthyRun:
+    def test_processes_all_items(self, healthy_pool):
+        runtime = CheckpointRuntime(
+            healthy_pool, step=_step, check=_check, granule=4
+        )
+        state = runtime.run([], list(range(1, 17)))
+        assert len(state) == 16
+        assert runtime.stats.granules_committed == 4
+        assert runtime.stats.granules_retried == 0
+        assert runtime.stats.items_wasted == 0
+
+    def test_overhead_near_one_when_clean(self, healthy_pool):
+        runtime = CheckpointRuntime(
+            healthy_pool, step=_step, check=_check,
+            granule=8, checkpoint_cost_items=0.5,
+        )
+        runtime.run([], list(range(1, 17)))
+        assert runtime.stats.overhead_factor == pytest.approx(
+            (16 + 1.0) / 16
+        )
+
+
+class TestRetryOnFailure:
+    def test_failed_granule_retries_on_next_core(self, healthy_pool):
+        pool = [_bad_core(rate=1.0)] + healthy_pool
+        runtime = CheckpointRuntime(pool, step=_step, check=_check, granule=4)
+        state = runtime.run([], list(range(1, 9)))
+        assert len(state) == 8
+        assert runtime.stats.granules_retried >= 1
+        assert runtime.stats.items_wasted >= 4
+
+    def test_all_cores_failing_raises(self):
+        pool = [_bad_core(rate=1.0, seed=i) for i in range(2)]
+        runtime = CheckpointRuntime(
+            pool, step=_step, check=_check, granule=4,
+            max_attempts_per_granule=2,
+        )
+        with pytest.raises(GranuleFailedError):
+            runtime.run([], list(range(1, 9)))
+
+    def test_final_state_correct_despite_retries(self, healthy_pool):
+        pool = [_bad_core(rate=0.05)] + healthy_pool
+        items = list(range(1, 33))
+        runtime = CheckpointRuntime(pool, step=_step, check=_check, granule=4)
+        state = runtime.run([], items)
+        expected = []
+        total = 0
+        for item in items:
+            total += item
+            expected.append(total)
+        assert state == expected
+
+
+class TestGranuleTradeoff:
+    def test_small_granules_waste_less_per_retry(self):
+        def run_with(granule):
+            pool = [_bad_core(rate=0.02, seed=9)] + [
+                Core(f"cp/h{i}", rng=np.random.default_rng(50 + i))
+                for i in range(3)
+            ]
+            runtime = CheckpointRuntime(
+                pool, step=_step, check=_check, granule=granule
+            )
+            runtime.run([], list(range(1, 65)))
+            return runtime.stats
+
+        small = run_with(4)
+        large = run_with(32)
+        if small.granules_retried and large.granules_retried:
+            waste_small = small.items_wasted / small.granules_retried
+            waste_large = large.items_wasted / large.granules_retried
+            assert waste_small < waste_large
+
+    def test_validation(self, healthy_pool):
+        with pytest.raises(ValueError):
+            CheckpointRuntime([], step=_step, check=_check)
+        with pytest.raises(ValueError):
+            CheckpointRuntime(healthy_pool, step=_step, check=_check, granule=0)

@@ -1,0 +1,200 @@
+"""Selective replication (§9) and quorum replication (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation.bft import QuorumError, QuorumReplicatedService
+from repro.mitigation.selective import (
+    SelectiveReplicator,
+    Stage,
+    full_tmr_baseline,
+    impact_score,
+    unprotected_baseline,
+)
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.units import FunctionalUnit, Op
+from repro.workloads.base import WorkloadResult, digest_ints
+
+
+def _work(seed: int, length: int = 60):
+    def work(core) -> WorkloadResult:
+        total = seed
+        for value in range(length):
+            total = core.execute(Op.ADD, total, value * seed + 1)
+        return WorkloadResult(name=f"w{seed}", output_digest=digest_ints([total]))
+
+    return work
+
+
+def _bad_core(seed=0, rate=5e-3):
+    return Core(
+        "sel/bad",
+        defects=[StuckBitDefect("d", bit=33, base_rate=rate,
+                                unit=FunctionalUnit.ALU)],
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _pool(with_bad=True):
+    pool = [Core(f"sel/c{i}", rng=np.random.default_rng(20 + i))
+            for i in range(5)]
+    if with_bad:
+        pool[0] = _bad_core()
+    return pool
+
+
+def _stages(n=10, critical_every=5):
+    return [
+        Stage(
+            name=f"s{i}",
+            work=_work(i + 1),
+            critical=(i % critical_every == 0),
+            blast_radius=1000 if i % critical_every == 0 else 1,
+        )
+        for i in range(n)
+    ]
+
+
+class TestImpactAnalysis:
+    def test_blast_radius_drives_score(self):
+        wide = Stage("meta", _work(1), critical=None, blast_radius=100000)
+        narrow = Stage("row", _work(2), critical=None, blast_radius=1)
+        assert impact_score(wide) > impact_score(narrow)
+
+    def test_threshold_classifies(self):
+        replicator = SelectiveReplicator(_pool(False), criticality_threshold=2.0)
+        assert replicator._is_critical(
+            Stage("meta", _work(1), critical=None, blast_radius=1000)
+        )
+        assert not replicator._is_critical(
+            Stage("row", _work(2), critical=None, blast_radius=1)
+        )
+
+    def test_annotation_overrides_analysis(self):
+        replicator = SelectiveReplicator(_pool(False))
+        assert replicator._is_critical(
+            Stage("s", _work(1), critical=True, blast_radius=1)
+        )
+        assert not replicator._is_critical(
+            Stage("s", _work(1), critical=False, blast_radius=10**9)
+        )
+
+
+class TestSelectiveReplication:
+    def test_cost_between_unprotected_and_full_tmr(self):
+        stages = _stages(10, critical_every=5)  # 2 of 10 critical
+        replicator = SelectiveReplicator(_pool(False))
+        replicator.run_pipeline(stages)
+        cost = replicator.stats.cost_factor
+        assert 1.0 < cost < 3.0
+        assert replicator.stats.stages_replicated == 2
+
+    def test_critical_stage_correct_despite_defective_pool_member(self):
+        stages = _stages(10, critical_every=1)  # everything critical
+        reference = [
+            stage.work(Core("sel/ref", rng=np.random.default_rng(99)))
+            for stage in stages
+        ]
+        replicator = SelectiveReplicator(_pool(with_bad=True))
+        results = replicator.run_pipeline(stages)
+        for result, expected in zip(results, reference):
+            assert result.output_digest == expected.output_digest
+
+    def test_baselines(self):
+        stages = _stages(6, critical_every=2)
+        _, tmr_executions = full_tmr_baseline(_pool(False), stages)
+        assert tmr_executions == 18
+        results = unprotected_baseline(
+            Core("sel/solo", rng=np.random.default_rng(0)), stages
+        )
+        assert len(results) == 6
+
+    def test_needs_three_cores(self):
+        with pytest.raises(ValueError):
+            SelectiveReplicator(_pool(False)[:2])
+
+
+class TestQuorumService:
+    def _service(self, mercurial_indices=(1,), f=1, rate=1.0):
+        cores = []
+        for index in range(3 * f + 1):
+            defects = ()
+            if index in mercurial_indices:
+                defects = [
+                    StuckBitDefect("d", bit=19, base_rate=rate,
+                                   unit=FunctionalUnit.ALU)
+                ]
+            cores.append(
+                Core(f"bft/r{index}", defects=defects,
+                     rng=np.random.default_rng(index))
+            )
+        return QuorumReplicatedService(cores, f=f)
+
+    @staticmethod
+    def _incr(core, state):
+        state["x"] = core.execute(Op.ADD, state.get("x", 0), 7)
+        return state
+
+    def test_healthy_service_commits(self):
+        service = self._service(mercurial_indices=())
+        committed = service.submit(self._incr)
+        assert committed == {"x": 7}
+        assert service.stats.dissents == 0
+
+    def test_one_mercurial_replica_outvoted(self):
+        service = self._service(mercurial_indices=(1,))
+        for step in range(5):
+            committed = service.submit(self._incr)
+        assert committed["x"] == 35  # always the honest answer
+        assert service.stats.dissents == 5
+
+    def test_cost_factor_is_n(self):
+        service = self._service(mercurial_indices=())
+        service.submit(self._incr)
+        assert service.stats.cost_factor == 4.0  # 3f+1 with f=1
+
+    def test_dissent_recidivism_identifies_replica(self):
+        service = self._service(mercurial_indices=(2,))
+        for _ in range(4):
+            service.submit(self._incr)
+        assert service.suspect_replicas() == [2]
+
+    def test_too_many_faulty_raises(self):
+        # f=1 service with 2 *identically* wrong replicas: their shared
+        # digest ties the honest pair at 2-2; quorum still commits the
+        # larger-or-equal certificate, which may be the WRONG one —
+        # so use 3 distinctly-wrong replicas to break quorum entirely.
+        cores = [
+            Core(
+                f"bft/b{index}",
+                defects=[StuckBitDefect("d", bit=10 + index, base_rate=1.0,
+                                        unit=FunctionalUnit.ALU)],
+                rng=np.random.default_rng(index),
+            )
+            for index in range(3)
+        ] + [Core("bft/h", rng=np.random.default_rng(9))]
+        service = QuorumReplicatedService(cores, f=1)
+        with pytest.raises(QuorumError):
+            service.submit(self._incr)
+
+    def test_replica_count_validated(self):
+        with pytest.raises(ValueError):
+            QuorumReplicatedService(
+                [Core(f"x{i}", rng=np.random.default_rng(i)) for i in range(3)],
+                f=1,
+            )
+
+    def test_machine_check_replica_abstains(self):
+        from repro.silicon.defects import MachineCheckDefect
+
+        cores = [Core(f"bft/m{i}", rng=np.random.default_rng(i))
+                 for i in range(4)]
+        cores[3] = Core(
+            "bft/mce",
+            defects=[MachineCheckDefect("d", base_rate=1.0, ops=(Op.ADD,))],
+            rng=np.random.default_rng(3),
+        )
+        service = QuorumReplicatedService(cores, f=1)
+        committed = service.submit(self._incr)
+        assert committed == {"x": 7}

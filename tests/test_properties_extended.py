@@ -1,0 +1,170 @@
+"""Second property-test battery: invariants of the defense stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.confidence import SuspicionTracker
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.mitigation.resilient.matfact import GF_PRIME, _gf_mul
+from repro.silicon.assembler import assemble
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.environment import DvfsTable
+from repro.silicon.sensitivity import (
+    ComposedSensitivity,
+    FrequencySensitivity,
+    ThermalSensitivity,
+    VoltageMarginSensitivity,
+)
+from repro.silicon.units import FunctionalUnit, Op
+from repro.silicon.vm import Vm
+
+gf_element = st.integers(min_value=0, max_value=GF_PRIME - 1)
+
+
+def _core(seed=0):
+    return Core("propx/h", rng=np.random.default_rng(seed))
+
+
+class TestGfFieldAxioms:
+    @settings(max_examples=40, deadline=None)
+    @given(a=gf_element, b=gf_element, c=gf_element)
+    def test_mul_associative(self, a, b, c):
+        core = _core()
+        left = _gf_mul(core, _gf_mul(core, a, b), c)
+        right = _gf_mul(core, a, _gf_mul(core, b, c))
+        assert left == right
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=gf_element, b=gf_element)
+    def test_mul_commutative(self, a, b):
+        core = _core()
+        assert _gf_mul(core, a, b) == _gf_mul(core, b, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=gf_element)
+    def test_one_is_identity(self, a):
+        assert _gf_mul(_core(), a, 1) == a % GF_PRIME
+
+
+class TestSuspicionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                         min_size=1, max_size=15),
+        half_life=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_score_never_negative_and_bounded_by_sum(self, weights, half_life):
+        tracker = SuspicionTracker(half_life_days=half_life, source_bonus=0.0)
+        for index, weight in enumerate(weights):
+            tracker.record("c", now_days=float(index), weight=weight)
+        score = tracker.score("c", now_days=float(len(weights)))
+        assert 0.0 <= score <= sum(weights) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(gap=st.floats(min_value=0.0, max_value=500.0))
+    def test_decay_monotone_in_time(self, gap):
+        tracker = SuspicionTracker(half_life_days=10.0)
+        tracker.record("c", now_days=0.0, weight=4.0)
+        now = tracker.score("c", 0.0)
+        later = tracker.score("c", gap)
+        assert later <= now + 1e-9
+
+
+class TestPolicyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        score=st.floats(min_value=0.0, max_value=100.0),
+        confessed=st.booleans(),
+    )
+    def test_decision_is_total_and_consistent(self, score, confessed):
+        policy = QuarantinePolicy(PolicyConfig(), fleet_cores=1000)
+        decision = policy.decide("m0/c0", score, confessed=confessed)
+        assert decision.action in Action
+        if decision.action in (Action.QUARANTINE_CORE,
+                               Action.QUARANTINE_MACHINE):
+            # quarantine requires either a confession or a high score
+            assert confessed or score >= PolicyConfig().quarantine_threshold
+
+    @settings(max_examples=20, deadline=None)
+    @given(scores=st.lists(st.floats(min_value=6.0, max_value=50.0),
+                           min_size=1, max_size=30))
+    def test_quarantine_never_exceeds_budget(self, scores):
+        config = PolicyConfig(max_quarantined_fraction=0.01)
+        policy = QuarantinePolicy(config, fleet_cores=200)
+        for index, score in enumerate(scores):
+            policy.decide(f"m{index:03d}/c00", score, confessed=True)
+        assert len(policy.quarantined) <= max(
+            1, int(config.max_quarantined_fraction * 200) + 1
+        )
+
+
+class TestSensitivityInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        freq_factor=st.floats(min_value=1.1, max_value=8.0),
+        volt_factor=st.floats(min_value=1.1, max_value=5.0),
+        thermal_factor=st.floats(min_value=1.1, max_value=3.0),
+    )
+    def test_multipliers_always_positive(self, freq_factor, volt_factor,
+                                         thermal_factor):
+        sensitivity = ComposedSensitivity([
+            FrequencySensitivity(freq_factor),
+            VoltageMarginSensitivity(volt_factor),
+            ThermalSensitivity(thermal_factor),
+        ])
+        for index in range(len(DvfsTable().states)):
+            point = DvfsTable().operating_point(index)
+            assert sensitivity.multiplier(point) > 0.0
+
+
+class TestVmDeterminism:
+    PROGRAM = """
+        li r1, 37
+        li r2, 0
+        li r5, 1
+    loop:
+        mul r3, r1, r1
+        xor r2, r2, r3
+        sub r1, r1, r5
+        bne r1, r0, loop
+        halt
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_healthy_vm_output_independent_of_rng(self, seed):
+        program = assemble(self.PROGRAM)
+        result = Vm(Core("vmx/h", rng=np.random.default_rng(seed))).run(program)
+        baseline = Vm(_core()).run(program)
+        assert result.registers == baseline.registers
+
+    @settings(max_examples=15, deadline=None)
+    @given(bit=st.integers(min_value=0, max_value=63))
+    def test_deterministic_defect_reproducible(self, bit):
+        """Same defect + same rng seed ⇒ identical corrupted run —
+        the property that makes confession testing meaningful."""
+        def run_once():
+            core = Core(
+                "vmx/bad",
+                defects=[StuckBitDefect("d", bit=bit, base_rate=0.05,
+                                        unit=FunctionalUnit.MUL_DIV)],
+                rng=np.random.default_rng(99),
+            )
+            return Vm(core).run(assemble(self.PROGRAM)).registers
+
+        assert run_once() == run_once()
+
+
+class TestDefectRateBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        age=st.floats(min_value=0.0, max_value=5000.0),
+    )
+    def test_effective_rate_is_probability(self, rate, age):
+        defect = StuckBitDefect("d", bit=1, base_rate=rate, ops=(Op.ADD,))
+        from repro.silicon.environment import NOMINAL
+
+        effective = defect.effective_rate(Op.ADD, NOMINAL, age)
+        assert 0.0 <= effective <= 1.0

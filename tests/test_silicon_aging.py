@@ -1,0 +1,81 @@
+"""Aging profiles and onset sampling."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.aging import AgingProfile, IMMEDIATE, WeibullOnset
+
+
+class TestAgingProfile:
+    def test_immediate_is_always_active(self):
+        assert IMMEDIATE.is_active(0.0)
+        assert IMMEDIATE.rate_multiplier(0.0) == 1.0
+
+    def test_latent_until_onset(self):
+        profile = AgingProfile(onset_days=100.0)
+        assert not profile.is_active(99.0)
+        assert profile.rate_multiplier(99.0) == 0.0
+        assert profile.is_active(100.0)
+
+    def test_escalation_doubles_per_year(self):
+        profile = AgingProfile(onset_days=0.0, escalation_per_year=2.0)
+        assert profile.rate_multiplier(365.0) == pytest.approx(2.0)
+        assert profile.rate_multiplier(730.0) == pytest.approx(4.0)
+
+    def test_escalation_saturates(self):
+        profile = AgingProfile(
+            onset_days=0.0, escalation_per_year=10.0, saturation=50.0
+        )
+        assert profile.rate_multiplier(10 * 365.0) == 50.0
+
+    def test_stable_defect_never_escalates(self):
+        profile = AgingProfile(onset_days=0.0, escalation_per_year=1.0)
+        assert profile.rate_multiplier(3650.0) == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AgingProfile(onset_days=-1.0)
+        with pytest.raises(ValueError):
+            AgingProfile(escalation_per_year=0.5)
+        with pytest.raises(ValueError):
+            AgingProfile(saturation=0.5)
+
+
+class TestWeibullOnset:
+    def test_escape_fraction_yields_day_zero_defects(self):
+        onset = WeibullOnset(escape_fraction=1.0)
+        rng = np.random.default_rng(0)
+        assert all(onset.sample(rng) == 0.0 for _ in range(20))
+
+    def test_cdf_monotone_and_bounded(self):
+        onset = WeibullOnset()
+        ages = [0.0, 100.0, 500.0, 2000.0]
+        values = [onset.cdf(a) for a in ages]
+        assert values == sorted(values)
+        assert 0.0 <= values[0] <= values[-1] <= 1.0
+
+    def test_cdf_at_zero_equals_escape_fraction(self):
+        onset = WeibullOnset(escape_fraction=0.4)
+        assert onset.cdf(0.0) == pytest.approx(0.4)
+
+    def test_empirical_matches_cdf(self):
+        onset = WeibullOnset()
+        rng = np.random.default_rng(3)
+        samples = [onset.sample(rng) for _ in range(4000)]
+        for horizon in (180.0, 365.0, 730.0):
+            empirical = sum(1 for s in samples if s <= horizon) / len(samples)
+            assert empirical == pytest.approx(onset.cdf(horizon), abs=0.03)
+
+    def test_sample_profile_escalation_in_range(self):
+        onset = WeibullOnset()
+        rng = np.random.default_rng(5)
+        profile = onset.sample_profile(rng, escalation_range=(1.5, 2.5))
+        assert 1.5 <= profile.escalation_per_year <= 2.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WeibullOnset(scale_days=0.0)
+        with pytest.raises(ValueError):
+            WeibullOnset(shape=-1.0)
+        with pytest.raises(ValueError):
+            WeibullOnset(escape_fraction=1.5)

@@ -1,0 +1,120 @@
+"""Core and Chip behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import MachineCheckDefect, StuckBitDefect
+from repro.silicon.environment import NOMINAL
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.units import Op
+
+
+class TestHealthyCore:
+    def test_execute_returns_golden(self, healthy_core):
+        assert healthy_core.execute(Op.ADD, 2, 3) == 5
+
+    def test_counts_ops(self, healthy_core):
+        healthy_core.execute(Op.ADD, 1, 1)
+        healthy_core.execute(Op.MUL, 2, 2)
+        assert healthy_core.ops_executed == 2
+
+    def test_no_corruptions_ever(self, healthy_core):
+        for i in range(500):
+            healthy_core.execute(Op.XOR, i, i * 3)
+        assert healthy_core.corruptions_induced == 0
+
+    def test_is_not_mercurial(self, healthy_core):
+        assert not healthy_core.is_mercurial
+        assert not healthy_core.is_defective_now()
+
+    def test_golden_matches_execute(self, healthy_core):
+        assert healthy_core.golden(Op.MUL, 6, 7) == healthy_core.execute(
+            Op.MUL, 6, 7
+        )
+
+
+class TestMercurialCore:
+    def _bad_core(self, rate=1.0):
+        return Core(
+            "t/bad",
+            defects=[StuckBitDefect("d", bit=0, base_rate=rate, ops=(Op.ADD,))],
+            rng=np.random.default_rng(0),
+        )
+
+    def test_corruption_counted(self):
+        core = self._bad_core()
+        assert core.execute(Op.ADD, 2, 2) == 5
+        assert core.corruptions_induced == 1
+
+    def test_untargeted_ops_clean(self):
+        core = self._bad_core()
+        assert core.execute(Op.MUL, 2, 2) == 4
+        assert core.corruptions_induced == 0
+
+    def test_effective_rate_reflects_defect(self):
+        core = self._bad_core(rate=1e-3)
+        assert core.effective_rate(Op.ADD) == pytest.approx(1e-3)
+        assert core.effective_rate(Op.MUL) == 0.0
+
+    def test_machine_check_propagates_and_counts(self):
+        defect = MachineCheckDefect("d", base_rate=1.0, ops=(Op.LOAD,))
+        core = Core("t/mce", defects=[defect], rng=np.random.default_rng(0))
+        with pytest.raises(MachineCheckError):
+            core.execute(Op.LOAD, 1)
+        assert core.machine_checks_raised == 1
+
+    def test_offline_core_refuses_work(self):
+        core = self._bad_core()
+        core.set_online(False)
+        with pytest.raises(CoreOfflineError):
+            core.execute(Op.ADD, 1, 1)
+
+    def test_reset_counters(self):
+        core = self._bad_core()
+        core.execute(Op.ADD, 1, 1)
+        core.reset_counters()
+        assert core.ops_executed == 0
+        assert core.corruptions_induced == 0
+
+    def test_age_cannot_decrease(self, healthy_core):
+        with pytest.raises(ValueError):
+            healthy_core.advance_age(-1.0)
+
+
+class TestChip:
+    def test_build_places_defects_on_one_core(self):
+        chip = Chip.build(
+            "m0", n_cores=8,
+            defects_by_core={3: [StuckBitDefect("d", bit=1, ops=(Op.ADD,))]},
+        )
+        assert len(chip) == 8
+        assert [c.core_id for c in chip.mercurial_cores] == ["m0/c03"]
+
+    def test_core_ids_are_stable(self):
+        chip = Chip.build("m1", n_cores=4)
+        assert [c.core_id for c in chip] == [
+            "m1/c00", "m1/c01", "m1/c02", "m1/c03"
+        ]
+
+    def test_environment_propagates(self):
+        chip = Chip.build("m2", n_cores=2)
+        hot = NOMINAL.with_temperature(90.0)
+        chip.set_environment(hot)
+        assert all(core.env.temperature_c == 90.0 for core in chip)
+
+    def test_advance_age_propagates(self):
+        chip = Chip.build("m3", n_cores=2)
+        chip.advance_age(10.0)
+        assert all(core.age_days == 10.0 for core in chip)
+
+    def test_empty_chip_rejected(self):
+        with pytest.raises(ValueError):
+            Chip([])
+
+    def test_distinct_rngs_per_core(self):
+        """Cores must not share random streams (defect independence)."""
+        chip = Chip.build("m4", n_cores=2, seed=9)
+        a = chip.cores[0].rng.integers(2**32)
+        b = chip.cores[1].rng.integers(2**32)
+        assert a != b

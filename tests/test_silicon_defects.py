@@ -1,0 +1,233 @@
+"""Defect models: targeting, rates, corruption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.aging import AgingProfile
+from repro.silicon.core import Core
+from repro.silicon.defects import (
+    AtomicsDefect,
+    MachineCheckDefect,
+    OperandPatternDefect,
+    SboxPermutationDefect,
+    SharedLogicDefect,
+    StuckBitDefect,
+    flip_bit,
+    resolve_target_ops,
+)
+from repro.silicon.environment import NOMINAL
+from repro.silicon.errors import MachineCheckError
+from repro.silicon.golden import AES_INV_SBOX, AES_SBOX
+from repro.silicon.sensitivity import FrequencySensitivity
+from repro.silicon.units import FunctionalUnit, LogicBlock, Op, UNIT_OPS
+
+
+class TestTargetResolution:
+    def test_explicit_ops(self):
+        assert resolve_target_ops(ops=(Op.ADD, Op.SUB)) == {Op.ADD, Op.SUB}
+
+    def test_unit_expands_to_all_unit_ops(self):
+        assert resolve_target_ops(unit=FunctionalUnit.MUL_DIV) == set(
+            UNIT_OPS[FunctionalUnit.MUL_DIV]
+        )
+
+    def test_block_expands_to_crossing_ops(self):
+        ops = resolve_target_ops(block=LogicBlock.SHUFFLE_NETWORK)
+        assert Op.COPY in ops and Op.VXOR in ops
+
+    def test_exactly_one_spec_required(self):
+        with pytest.raises(ValueError):
+            resolve_target_ops()
+        with pytest.raises(ValueError):
+            resolve_target_ops(ops=(Op.ADD,), unit=FunctionalUnit.ALU)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_target_ops(ops=("bogus",))
+
+
+class TestStuckBit:
+    def test_flip_bit_helper(self):
+        assert flip_bit(0, 5) == 32
+        assert flip_bit(32, 5) == 0
+
+    def test_deterministic_flip_at_rate_one(self, rng):
+        defect = StuckBitDefect("d", bit=3, base_rate=1.0, ops=(Op.ADD,))
+        result = defect.apply(Op.ADD, (1, 1), 2, NOMINAL, 0.0, rng)
+        assert result == 2 ^ 8
+
+    def test_set_mode_forces_bit(self, rng):
+        defect = StuckBitDefect("d", bit=0, mode="set", base_rate=1.0, ops=(Op.ADD,))
+        assert defect.apply(Op.ADD, (1, 1), 2, NOMINAL, 0.0, rng) == 3
+
+    def test_clear_mode_clears_bit(self, rng):
+        defect = StuckBitDefect("d", bit=1, mode="clear", base_rate=1.0, ops=(Op.ADD,))
+        assert defect.apply(Op.ADD, (1, 1), 2, NOMINAL, 0.0, rng) == 0
+
+    def test_untargeted_op_untouched(self, rng):
+        defect = StuckBitDefect("d", bit=3, base_rate=1.0, ops=(Op.ADD,))
+        assert defect.apply(Op.MUL, (2, 3), 6, NOMINAL, 0.0, rng) == 6
+
+    def test_vector_result_corrupts_one_lane(self, rng):
+        defect = StuckBitDefect(
+            "d", bit=0, base_rate=1.0, unit=FunctionalUnit.VECTOR
+        )
+        result = defect.apply(Op.VADD, ((1, 1), (1, 1)), (2, 2), NOMINAL, 0.0, rng)
+        assert sorted(result) in ([2, 3], [3, 3])  # at least one lane flipped
+        assert result != (2, 2)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StuckBitDefect("d", bit=3, mode="wobble")
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            StuckBitDefect("d", bit=64)
+
+
+class TestSboxPermutation:
+    def test_swapped_entry_reads_other_entry(self, rng):
+        defect = SboxPermutationDefect("d", swaps=((0x10, 0x20),))
+        out = defect.apply(Op.SBOX, (0x10,), AES_SBOX[0x10], NOMINAL, 0.0, rng)
+        assert out == AES_SBOX[0x20]
+
+    def test_unswapped_entry_untouched(self, rng):
+        defect = SboxPermutationDefect("d", swaps=((0x10, 0x20),))
+        out = defect.apply(Op.SBOX, (0x33,), AES_SBOX[0x33], NOMINAL, 0.0, rng)
+        assert out == AES_SBOX[0x33]
+
+    def test_defective_inverse_inverts_defective_forward(self, rng):
+        """The self-inversion property at the primitive level."""
+        defect = SboxPermutationDefect("d", swaps=((0x3A, 0xC5),))
+        core = Core("t/c", defects=[defect], rng=rng)
+        for value in range(256):
+            forward = core.execute(Op.SBOX, value)
+            assert core.execute(Op.INV_SBOX, forward) == value
+
+    def test_healthy_inverse_does_not_invert_defective_forward(self, rng):
+        defect = SboxPermutationDefect("d", swaps=((0x3A, 0xC5),))
+        bad = Core("t/bad", defects=[defect], rng=rng)
+        healthy = Core("t/good")
+        forward = bad.execute(Op.SBOX, 0x3A)
+        assert healthy.execute(Op.INV_SBOX, forward) != 0x3A
+
+    def test_trigger_fraction_counts_swapped_entries(self):
+        defect = SboxPermutationDefect("d", swaps=((1, 2), (3, 4)))
+        assert defect.trigger_fraction(Op.SBOX) == pytest.approx(4 / 256)
+
+    def test_overlapping_swaps_rejected(self):
+        with pytest.raises(ValueError):
+            SboxPermutationDefect("d", swaps=((1, 2), (2, 3)))
+
+    def test_self_swap_rejected(self):
+        with pytest.raises(ValueError):
+            SboxPermutationDefect("d", swaps=((5, 5),))
+
+
+class TestOperandPattern:
+    def test_fires_only_on_matching_pattern(self, rng):
+        defect = OperandPatternDefect(
+            "d", mask=0xF0, value=0x40, error=1, base_rate=1.0, ops=(Op.MUL,)
+        )
+        hit = defect.apply(Op.MUL, (0x42, 0x45), 0x42 * 0x45, NOMINAL, 0.0, rng)
+        assert hit == (0x42 * 0x45) ^ 1
+        miss = defect.apply(Op.MUL, (0x52, 0x45), 0x52 * 0x45, NOMINAL, 0.0, rng)
+        assert miss == 0x52 * 0x45
+
+    def test_trigger_fraction_shrinks_with_mask_bits(self):
+        narrow = OperandPatternDefect("d", mask=0xFF, value=0x42, ops=(Op.MUL,))
+        wide = OperandPatternDefect("d", mask=0x3, value=0x3, ops=(Op.MUL,))
+        assert narrow.trigger_fraction(Op.MUL) < wide.trigger_fraction(Op.MUL)
+
+
+class TestSharedLogicDefect:
+    def test_targets_both_copy_and_vector(self):
+        defect = SharedLogicDefect("d", block=LogicBlock.SHUFFLE_NETWORK)
+        assert defect.targets(Op.COPY)
+        assert defect.targets(Op.VXOR)
+        assert not defect.targets(Op.ADD)
+
+    def test_corrupts_copy_lane(self, rng):
+        defect = SharedLogicDefect(
+            "d", block=LogicBlock.SHUFFLE_NETWORK, bit=2, base_rate=1.0
+        )
+        data = (0, 0, 0, 0)
+        out = defect.apply(Op.COPY, (data,), data, NOMINAL, 0.0, rng)
+        assert sum(out) == 4  # exactly one lane has bit 2 flipped
+
+
+class TestAtomicsDefect:
+    def test_cas_spurious_success(self, rng):
+        defect = AtomicsDefect("d", base_rate=1.0)
+        # current=5 != expected=0, but the broken CAS stores new anyway
+        assert defect.apply(Op.CAS, (5, 0, 9), 5, NOMINAL, 0.0, rng) == 9
+
+    def test_fetch_add_drops_addend(self, rng):
+        defect = AtomicsDefect("d", base_rate=1.0)
+        assert defect.apply(Op.FETCH_ADD, (10, 5), 15, NOMINAL, 0.0, rng) == 10
+
+    def test_xchg_drops_store(self, rng):
+        defect = AtomicsDefect("d", base_rate=1.0)
+        assert defect.apply(Op.XCHG, (1, 2), 2, NOMINAL, 0.0, rng) == 1
+
+
+class TestMachineCheckDefect:
+    def test_raises_machine_check(self, rng):
+        defect = MachineCheckDefect("d", base_rate=1.0)
+        defect.bind_core("m0/c0")
+        with pytest.raises(MachineCheckError) as excinfo:
+            defect.apply(Op.LOAD, (1,), 1, NOMINAL, 0.0, rng)
+        assert excinfo.value.core_id == "m0/c0"
+
+
+class TestRates:
+    def test_effective_rate_zero_for_untargeted_op(self):
+        defect = StuckBitDefect("d", bit=1, base_rate=1e-3, ops=(Op.ADD,))
+        assert defect.effective_rate(Op.MUL, NOMINAL, 0.0) == 0.0
+
+    def test_effective_rate_scales_with_environment(self):
+        defect = StuckBitDefect(
+            "d", bit=1, base_rate=1e-6, ops=(Op.ADD,),
+            sensitivity=FrequencySensitivity(factor_per_ghz=4.0),
+        )
+        hot = NOMINAL.scaled(frequency_ghz=3.5, voltage_v=1.1)
+        assert defect.effective_rate(Op.ADD, hot, 0.0) > defect.effective_rate(
+            Op.ADD, NOMINAL, 0.0
+        )
+
+    def test_effective_rate_zero_before_onset(self):
+        defect = StuckBitDefect(
+            "d", bit=1, base_rate=1e-3, ops=(Op.ADD,),
+            aging=AgingProfile(onset_days=100.0),
+        )
+        assert defect.effective_rate(Op.ADD, NOMINAL, 50.0) == 0.0
+        assert defect.effective_rate(Op.ADD, NOMINAL, 150.0) > 0.0
+
+    def test_mean_rate_weights_by_mix(self):
+        defect = StuckBitDefect("d", bit=1, base_rate=1e-3, ops=(Op.ADD,))
+        mix_hit = {Op.ADD: 1.0}
+        mix_half = {Op.ADD: 0.5, Op.MUL: 0.5}
+        assert defect.mean_rate(mix_hit, NOMINAL, 0.0) == pytest.approx(
+            2 * defect.mean_rate(mix_half, NOMINAL, 0.0)
+        )
+
+    def test_base_rate_must_be_probability(self):
+        with pytest.raises(ValueError):
+            StuckBitDefect("d", bit=1, base_rate=1.5)
+
+    def test_wide_results_get_more_exposure(self):
+        """A block copy has one corruption chance per lane."""
+        defect = StuckBitDefect(
+            "d", bit=1, base_rate=1e-2, unit=FunctionalUnit.LOAD_STORE
+        )
+        rng = np.random.default_rng(0)
+        wide = (0,) * 64
+        corrupted_wide = sum(
+            defect.apply(Op.COPY, (wide,), wide, NOMINAL, 0.0, rng) != wide
+            for _ in range(200)
+        )
+        corrupted_scalar = sum(
+            defect.apply(Op.LOAD, (0,), 0, NOMINAL, 0.0, rng) != 0
+            for _ in range(200)
+        )
+        assert corrupted_wide > corrupted_scalar * 5

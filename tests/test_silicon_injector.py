@@ -1,0 +1,111 @@
+"""Fault injector and susceptibility campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.core import Core
+from repro.silicon.injector import (
+    FaultInjector,
+    InjectionCampaign,
+    InjectionOutcome,
+    InjectionPlan,
+)
+from repro.silicon.units import Op
+from repro.workloads.base import WorkloadResult, digest_ints
+from repro.workloads.generator import spec_by_name
+
+
+def _fresh():
+    return Core("inj/h", rng=np.random.default_rng(0))
+
+
+class TestFaultInjector:
+    def test_dry_run_is_transparent(self):
+        injector = FaultInjector(_fresh(), InjectionPlan(at_op_index=None))
+        assert injector.execute(Op.ADD, 2, 3) == 5
+        assert not injector.injected
+
+    def test_injects_exactly_once_at_index(self):
+        injector = FaultInjector(
+            _fresh(), InjectionPlan(at_op_index=1),
+            rng=np.random.default_rng(1),
+        )
+        first = injector.execute(Op.ADD, 1, 1)
+        second = injector.execute(Op.ADD, 1, 1)
+        third = injector.execute(Op.ADD, 1, 1)
+        assert first == 2 and third == 2
+        assert second != 2
+        assert injector.injected and injector.injected_op == Op.ADD
+
+    def test_op_filter_restricts_counting(self):
+        plan = InjectionPlan(at_op_index=0, ops=frozenset({Op.MUL}))
+        injector = FaultInjector(_fresh(), plan, rng=np.random.default_rng(2))
+        assert injector.execute(Op.ADD, 1, 1) == 2  # not counted
+        assert injector.execute(Op.MUL, 2, 3) != 6  # injected
+
+    def test_custom_transform(self):
+        plan = InjectionPlan(
+            at_op_index=0, transform=lambda value, rng: 0
+        )
+        injector = FaultInjector(_fresh(), plan)
+        assert injector.execute(Op.ADD, 40, 2) == 0
+
+    def test_tuple_results_injectable(self):
+        injector = FaultInjector(
+            _fresh(), InjectionPlan(at_op_index=0),
+            rng=np.random.default_rng(3),
+        )
+        data = (1, 2, 3, 4)
+        assert injector.execute(Op.COPY, data) != data
+
+
+class TestInjectionCampaign:
+    def test_site_counting_is_deterministic(self):
+        work = spec_by_name("hashing").build(3)
+        campaign = InjectionCampaign(work)
+        assert campaign.count_sites() == campaign.count_sites() > 0
+
+    def test_outcomes_partition_the_samples(self):
+        work = spec_by_name("sorting").build(3)
+        campaign = InjectionCampaign(work)
+        report = campaign.run(n_sites=30, rng=np.random.default_rng(0))
+        assert sum(report.outcomes.values()) == report.sampled == 30
+
+    def test_unchecked_work_shows_silent_corruption(self):
+        """A workload with NO self-check converts injected faults
+        straight into silent corruption — the [11]-style result."""
+
+        def unchecked(core):
+            total = 0
+            for value in range(200):
+                total = core.execute(Op.ADD, total, value)
+            return WorkloadResult(
+                name="sum", output_digest=digest_ints([total])
+            )
+
+        campaign = InjectionCampaign(unchecked)
+        report = campaign.run(n_sites=25, rng=np.random.default_rng(1))
+        assert report.sdc_fraction > 0.5
+
+    def test_checked_work_shows_detection(self):
+        work = spec_by_name("hashing").build(5)
+        campaign = InjectionCampaign(work)
+        report = campaign.run(n_sites=40, rng=np.random.default_rng(2))
+        detected = report.outcomes[InjectionOutcome.DETECTED]
+        silent = report.outcomes[InjectionOutcome.SILENT_CORRUPTION]
+        assert detected + silent + report.outcomes[InjectionOutcome.BENIGN] \
+            + report.outcomes[InjectionOutcome.CRASHED] == 40
+
+    def test_render_mentions_fractions(self):
+        work = spec_by_name("hashing").build(5)
+        report = InjectionCampaign(work).run(
+            n_sites=10, rng=np.random.default_rng(3)
+        )
+        assert "injection campaign" in report.render()
+
+    def test_empty_work_rejected(self):
+        campaign = InjectionCampaign(
+            lambda core: WorkloadResult(name="noop", output_digest=0)
+        )
+        with pytest.raises(ValueError):
+            campaign.run(n_sites=1, rng=np.random.default_rng(0))

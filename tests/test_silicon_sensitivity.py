@@ -1,0 +1,89 @@
+"""Environment sensitivities, including the low-frequency anomaly."""
+
+import pytest
+
+from repro.silicon.environment import DvfsTable, NOMINAL
+from repro.silicon.sensitivity import (
+    ComposedSensitivity,
+    FlatSensitivity,
+    FrequencySensitivity,
+    ThermalSensitivity,
+    VoltageMarginSensitivity,
+)
+
+
+class TestFlat:
+    def test_always_one(self):
+        sens = FlatSensitivity()
+        assert sens.multiplier(NOMINAL) == 1.0
+        assert sens.multiplier(NOMINAL.with_temperature(120.0)) == 1.0
+
+
+class TestFrequency:
+    def test_unity_at_reference(self):
+        sens = FrequencySensitivity(factor_per_ghz=4.0)
+        assert sens.multiplier(NOMINAL) == pytest.approx(1.0)
+
+    def test_grows_with_frequency(self):
+        sens = FrequencySensitivity(factor_per_ghz=4.0)
+        fast = NOMINAL.scaled(frequency_ghz=4.0, voltage_v=1.2)
+        assert sens.multiplier(fast) == pytest.approx(4.0)
+
+    def test_shrinks_below_reference(self):
+        sens = FrequencySensitivity(factor_per_ghz=4.0)
+        slow = NOMINAL.scaled(frequency_ghz=2.0, voltage_v=0.85)
+        assert sens.multiplier(slow) == pytest.approx(0.25)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            FrequencySensitivity(factor_per_ghz=0.0)
+
+
+class TestVoltageMargin:
+    def test_undervolt_raises_rate(self):
+        sens = VoltageMarginSensitivity(factor_per_50mv=3.0)
+        sagged = NOMINAL.scaled(frequency_ghz=3.0, voltage_v=0.95)
+        assert sens.multiplier(sagged) == pytest.approx(3.0)
+
+    def test_overvolt_lowers_rate(self):
+        sens = VoltageMarginSensitivity(factor_per_50mv=3.0)
+        boosted = NOMINAL.scaled(frequency_ghz=3.0, voltage_v=1.05)
+        assert sens.multiplier(boosted) == pytest.approx(1 / 3.0)
+
+
+class TestThermal:
+    def test_hotter_is_worse(self):
+        sens = ThermalSensitivity(factor_per_10c=2.0)
+        assert sens.multiplier(NOMINAL.with_temperature(70.0)) == pytest.approx(2.0)
+        assert sens.multiplier(NOMINAL.with_temperature(50.0)) == pytest.approx(0.5)
+
+
+class TestComposed:
+    def test_multiplies_parts(self):
+        sens = ComposedSensitivity(
+            [FrequencySensitivity(2.0), ThermalSensitivity(2.0)]
+        )
+        point = NOMINAL.scaled(frequency_ghz=4.0, voltage_v=1.1).with_temperature(70.0)
+        assert sens.multiplier(point) == pytest.approx(2.0 * 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedSensitivity([])
+
+
+class TestLowFrequencyAnomaly:
+    def test_voltage_defect_inverts_frequency_sweep(self):
+        """§5: 'lower frequency sometimes (surprisingly) increases the
+        failure rate' — because DVFS couples low f with low V, and a
+        voltage-margin defect cares about V, a frequency sweep along
+        the DVFS ladder shows an inverted trend."""
+        sens = VoltageMarginSensitivity(factor_per_50mv=3.0)
+        table = DvfsTable()
+        multipliers = [
+            sens.multiplier(table.operating_point(i))
+            for i in range(len(table.states))
+        ]
+        # Monotonically decreasing with DVFS state (i.e. increasing as
+        # frequency drops).
+        assert multipliers == sorted(multipliers, reverse=True)
+        assert multipliers[0] > multipliers[-1] * 10

@@ -1,0 +1,190 @@
+"""Assembler and VM."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.assembler import AssemblyError, assemble
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.isa import VLEN, Instruction, validate
+from repro.silicon.units import FunctionalUnit, Op
+from repro.silicon.vm import Vm
+
+
+def run(source, core=None, memory_image=(), **kwargs):
+    core = core or Core("vm/h", rng=np.random.default_rng(0))
+    return Vm(core, **kwargs).run(assemble(source), memory_image=memory_image)
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        program = assemble("""
+        start:
+            li r1, 5
+            jmp end
+            li r1, 99
+        end:
+            halt
+        """)
+        assert program[1].mnemonic == "jmp"
+        assert program[1].operands == (3,)
+
+    def test_comments_stripped(self):
+        program = assemble("li r1, 1 ; comment\n# full comment line\nhalt")
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0xFF\nhalt")
+        assert program[0].operands == (1, 255)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frob r1, r2")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\na:\nhalt")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r16")
+
+    def test_validate_rejects_bad_instruction(self):
+        with pytest.raises(ValueError):
+            validate(Instruction("add", (1, 2)))
+
+
+class TestVmExecution:
+    def test_arithmetic_loop(self):
+        result = run("""
+            li r1, 10
+            li r2, 0
+            li r3, 1
+        loop:
+            add r2, r2, r1
+            sub r1, r1, r3
+            bne r1, r0, loop
+            halt
+        """)
+        assert result.halted
+        assert result.registers[2] == 55
+
+    def test_memory_load_store(self):
+        result = run("""
+            li r1, 100
+            li r2, 42
+            st r1, r2
+            ld r3, r1
+            halt
+        """)
+        assert result.memory[100] == 42
+        assert result.registers[3] == 42
+
+    def test_block_copy(self):
+        result = run(
+            """
+            li r1, 0
+            li r2, 10
+            cpy r2, r1, 4
+            halt
+            """,
+            memory_image=[5, 6, 7, 8],
+        )
+        assert result.memory[10:14] == [5, 6, 7, 8]
+
+    def test_vector_roundtrip(self):
+        image = list(range(1, VLEN + 1)) + list(range(10, 10 + VLEN))
+        result = run(
+            f"""
+            li r1, 0
+            li r2, {VLEN}
+            vld v0, r1
+            vld v1, r2
+            vadd v2, v0, v1
+            vsum r3, v2
+            halt
+            """,
+            memory_image=image,
+        )
+        assert result.registers[3] == sum(image)
+
+    def test_atomics(self):
+        result = run("""
+            li r1, 50
+            cas r2, r1, r0, 7   ; mem[50]==0 expected 0 -> becomes 7
+            fadd r3, r1, r2     ; r2 is old value (0): mem[50] += 0
+            halt
+        """)
+        assert result.memory[50] == 7
+
+    def test_divide_by_zero_traps(self):
+        result = run("li r1, 4\ndiv r2, r1, r0\nhalt")
+        assert result.trap == "divide_by_zero"
+        assert result.crashed
+
+    def test_segfault_traps(self):
+        result = run("li r1, 999999\nld r2, r1\nhalt")
+        assert result.trap == "segfault"
+
+    def test_budget_exhaustion_traps(self):
+        result = run("loop: jmp loop", step_budget=100)
+        assert result.trap == "budget_exhausted"
+        assert result.steps == 100
+
+    def test_sbox_instruction(self):
+        result = run("li r1, 0\nsbox r2, r1\nhalt")
+        assert result.registers[2] == 0x63
+
+
+class TestVmWithDefects:
+    def test_defective_alu_changes_program_output(self):
+        source = """
+            li r1, 200
+            li r2, 0
+            li r3, 1
+        loop:
+            add r2, r2, r1
+            sub r1, r1, r3
+            bne r1, r0, loop
+            halt
+        """
+        healthy = run(source)
+        bad_core = Core(
+            "vm/bad",
+            defects=[
+                StuckBitDefect("d", bit=7, base_rate=0.05,
+                               unit=FunctionalUnit.ALU)
+            ],
+            rng=np.random.default_rng(2),
+        )
+        defective = run(source, core=bad_core)
+        assert defective.registers[2] != healthy.registers[2]
+
+    def test_branch_defect_changes_control_flow(self):
+        source = """
+            li r1, 40
+            li r3, 1
+            li r2, 0
+        loop:
+            add r2, r2, r3
+            sub r1, r1, r3
+            bne r1, r0, loop
+            halt
+        """
+        bad_core = Core(
+            "vm/branch",
+            defects=[StuckBitDefect("d", bit=0, base_rate=0.2, ops=(Op.BEQ,))],
+            rng=np.random.default_rng(3),
+        )
+        result = run(source, core=bad_core, step_budget=2000)
+        healthy = run(source)
+        # Either early exit (wrong count) or runaway loop (budget trap).
+        assert result.registers[2] != healthy.registers[2] or result.crashed

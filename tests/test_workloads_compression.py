@@ -1,0 +1,95 @@
+"""LZ codec."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.core import Core
+from repro.silicon.catalog import named_case
+from repro.workloads.compression import (
+    CorruptStreamError,
+    compress,
+    compression_workload,
+    decompress,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abcabcabcabcabc",
+            b"x" * 500,
+            bytes(range(256)),
+            b"the quick brown fox jumps over the lazy dog " * 10,
+        ],
+    )
+    def test_healthy_roundtrip(self, healthy_core, data):
+        blob = compress(healthy_core, data)
+        assert decompress(healthy_core, blob) == data
+
+    def test_random_data_roundtrip(self, healthy_core, rng):
+        data = rng.integers(0, 256, size=700, dtype=np.uint8).tobytes()
+        assert decompress(healthy_core, compress(healthy_core, data)) == data
+
+    def test_repetitive_data_actually_compresses(self, healthy_core):
+        data = b"ABABABABAB" * 60
+        blob = compress(healthy_core, data)
+        assert len(blob) < len(data)
+
+    def test_overlapping_match_semantics(self, healthy_core):
+        data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"  # match overlaps itself
+        blob = compress(healthy_core, data)
+        assert decompress(healthy_core, blob) == data
+
+    def test_window_validation(self, healthy_core):
+        with pytest.raises(ValueError):
+            compress(healthy_core, b"abc", window=0)
+
+
+class TestCorruptStreams:
+    def test_truncated_literal_rejected(self, healthy_core):
+        with pytest.raises(CorruptStreamError):
+            decompress(healthy_core, bytes([0x00]))
+
+    def test_bad_tag_rejected(self, healthy_core):
+        with pytest.raises(CorruptStreamError):
+            decompress(healthy_core, bytes([0x77, 0x00]))
+
+    def test_out_of_range_match_rejected(self, healthy_core):
+        # match offset 200 with no prior output
+        with pytest.raises(CorruptStreamError):
+            decompress(healthy_core, bytes([0x01, 199, 0]))
+
+
+class TestDefectiveCore:
+    def test_comparator_defect_changes_compressed_output(self, reference_core):
+        core = Core(
+            "t/cmp", defects=named_case("comparator_flip"),
+            rng=np.random.default_rng(3),
+        )
+        data = b"compressible compressible compressible data!" * 8
+        healthy_blob = compress(reference_core, data)
+        defective_blob = compress(core, data)
+        assert defective_blob != healthy_blob
+        # The stream is still *self-consistent*: a healthy decompressor
+        # reproduces the input even from a weirdly-compressed stream,
+        # unless the comparator corrupted lengths into wrong matches.
+        restored = decompress(reference_core, defective_blob)
+        # It either round-trips (suboptimal matches) or differs
+        # (silent corruption); both are possible — assert no crash.
+        assert isinstance(restored, bytes)
+
+    def test_workload_reports_crash_as_crash(self):
+        core = Core(
+            "t/crash", defects=named_case("string_bit_flipper"),
+            rng=np.random.default_rng(5),
+        )
+        results = [
+            compression_workload(core, bytes([i % 256]) * 400)
+            for i in range(8)
+        ]
+        # The bit flipper hits copy/load paths: at least one run must be
+        # caught by the round-trip check or crash outright.
+        assert any(r.app_detected or r.crashed for r in results)

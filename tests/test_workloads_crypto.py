@@ -1,0 +1,106 @@
+"""AES-128 and the self-inverting defect."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.catalog import named_case
+from repro.silicon.core import Core
+from repro.workloads.crypto import (
+    crypto_workload,
+    decrypt_block,
+    decrypt_ecb,
+    encrypt_block,
+    encrypt_ecb,
+    expand_key,
+)
+
+KEY = bytes(range(16))
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestFips197:
+    def test_encrypt_matches_standard_vector(self, healthy_core):
+        round_keys = expand_key(healthy_core, FIPS_KEY)
+        assert encrypt_block(healthy_core, FIPS_PLAINTEXT, round_keys) == \
+            FIPS_CIPHERTEXT
+
+    def test_decrypt_inverts(self, healthy_core):
+        round_keys = expand_key(healthy_core, FIPS_KEY)
+        assert decrypt_block(healthy_core, FIPS_CIPHERTEXT, round_keys) == \
+            FIPS_PLAINTEXT
+
+    def test_key_schedule_first_and_last_words(self, healthy_core):
+        round_keys = expand_key(healthy_core, FIPS_KEY)
+        assert round_keys[0] == FIPS_KEY
+        # FIPS-197 A.1: last round key for this key schedule.
+        assert round_keys[10].hex() == "13111d7fe3944a17f307a78b4d2b30c5"
+
+    def test_wrong_block_size_rejected(self, healthy_core):
+        with pytest.raises(ValueError):
+            encrypt_block(healthy_core, b"short", [])
+
+    def test_wrong_key_size_rejected(self, healthy_core):
+        with pytest.raises(ValueError):
+            expand_key(healthy_core, b"short")
+
+
+class TestEcbMode:
+    def test_roundtrip_arbitrary_length(self, healthy_core):
+        for size in (0, 1, 15, 16, 17, 100):
+            data = bytes(range(size % 256))[:size] or b""
+            data = (b"x" * size)
+            ct = encrypt_ecb(healthy_core, data, KEY)
+            assert decrypt_ecb(healthy_core, ct, KEY) == data
+
+    def test_padding_always_added(self, healthy_core):
+        ct = encrypt_ecb(healthy_core, b"0123456789abcdef", KEY)
+        assert len(ct) == 32  # full extra block of padding
+
+    def test_tampered_ciphertext_detected_by_padding(self, healthy_core):
+        ct = bytearray(encrypt_ecb(healthy_core, b"hello", KEY))
+        ct[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            decrypt_ecb(healthy_core, bytes(ct), KEY)
+
+
+class TestSelfInvertingDefect:
+    @pytest.fixture
+    def defective(self):
+        return Core(
+            "aes/bad", defects=named_case("self_inverting_aes"),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_ciphertext_is_wrong(self, defective, healthy_core):
+        message = b"attack at dawn!!" * 4
+        assert encrypt_ecb(defective, message, KEY) != \
+            encrypt_ecb(healthy_core, message, KEY)
+
+    def test_same_core_roundtrip_is_identity(self, defective):
+        message = b"attack at dawn!!" * 4
+        ct = encrypt_ecb(defective, message, KEY)
+        assert decrypt_ecb(defective, ct, KEY) == message
+
+    def test_decryption_elsewhere_is_gibberish(self, defective, healthy_core):
+        message = b"attack at dawn!!" * 4
+        ct = encrypt_ecb(defective, message, KEY)
+        try:
+            elsewhere = decrypt_ecb(healthy_core, ct, KEY)
+        except ValueError:
+            return  # destroyed padding: definitely gibberish
+        assert elsewhere != message
+
+    def test_roundtrip_self_check_is_blind(self, defective):
+        """The §2 trap: the natural self-check passes on the bad core."""
+        result = crypto_workload(defective, b"secret payload", KEY)
+        assert not result.app_detected
+        assert not result.crashed
+
+
+class TestCryptoWorkload:
+    def test_healthy_clean(self, healthy_core):
+        result = crypto_workload(healthy_core, b"data" * 16, KEY)
+        assert not result.app_detected
+        assert result.units == 5  # 64 bytes + padding = 5 blocks

@@ -1,0 +1,85 @@
+"""Lock semantics workload."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.catalog import named_case
+from repro.silicon.core import Core
+from repro.silicon.defects import AtomicsDefect
+from repro.silicon.units import Op
+from repro.workloads.locking import locking_workload, run_locked_counter
+
+
+class TestHealthyLocking:
+    def test_counter_reaches_expected(self, healthy_core):
+        shared, hung = run_locked_counter(healthy_core, n_threads=4, iterations=10)
+        assert not hung
+        assert shared.counter == 40
+        assert shared.mutual_exclusion_violations == 0
+
+    def test_single_thread(self, healthy_core):
+        shared, hung = run_locked_counter(healthy_core, n_threads=1, iterations=5)
+        assert shared.counter == 5 and not hung
+
+    def test_workload_reports_clean(self, healthy_core):
+        result = locking_workload(healthy_core, n_threads=3, iterations=8)
+        assert not result.app_detected and not result.crashed
+
+    def test_parameter_validation(self, healthy_core):
+        with pytest.raises(ValueError):
+            run_locked_counter(healthy_core, n_threads=0)
+
+
+class TestLockViolations:
+    def _violator(self, rate=0.05, seed=0):
+        return Core(
+            "lock/bad",
+            defects=[AtomicsDefect("d", base_rate=rate)],
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_spurious_cas_success_breaks_mutual_exclusion(self):
+        core = Core(
+            "lock/cas",
+            defects=[AtomicsDefect("d", base_rate=0.08)],
+            rng=np.random.default_rng(3),
+        )
+        violations = 0
+        for _ in range(5):
+            shared, hung = run_locked_counter(core, n_threads=4, iterations=20)
+            violations += shared.mutual_exclusion_violations
+            if hung:
+                break
+        assert violations > 0
+
+    def test_lost_updates_detected_by_invariant(self):
+        detected = 0
+        for seed in range(6):
+            core = self._violator(rate=0.05, seed=seed)
+            result = locking_workload(core, n_threads=4, iterations=24)
+            detected += result.app_detected or result.crashed
+        assert detected >= 2
+
+    def test_dropped_release_hangs(self):
+        """XCHG store dropped -> release never lands -> budget trap."""
+        core = Core(
+            "lock/hang",
+            defects=[AtomicsDefect("d", base_rate=1.0, ops=(Op.XCHG,))],
+            rng=np.random.default_rng(1),
+        )
+        # Every release is dropped: after the first critical section the
+        # lock is stuck held and all threads spin forever.
+        shared, hung = run_locked_counter(core, n_threads=2, iterations=4)
+        assert hung
+
+    def test_ops_restriction_validated(self):
+        with pytest.raises(ValueError):
+            AtomicsDefect("d", ops=(Op.ADD,))
+
+    def test_named_case_lock_violator_builds(self):
+        core = Core(
+            "lock/case", defects=named_case("lock_violator"),
+            rng=np.random.default_rng(2),
+        )
+        assert core.is_mercurial
+        assert core.defects[0].targets(Op.CAS)
