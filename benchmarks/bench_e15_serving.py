@@ -1,0 +1,40 @@
+"""E15 — serving under CEE: hardened vs unhardened chaos campaigns."""
+
+from repro.analysis.experiments import run_serving_under_cee
+from repro.core.events import EventKind
+
+
+def test_e15_serving(benchmark, show):
+    result = benchmark.pedantic(
+        run_serving_under_cee, kwargs=dict(ticks=1000), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+
+    # Corrupt responses really escape the naive service...
+    assert result["escape_rate_unhardened"] > 0.0
+    # ...and the hardened stack cuts the escape rate by >= 10x.
+    assert (
+        result["escape_rate_hardened"]
+        <= result["escape_rate_unhardened"] / 10.0
+    )
+
+    # The robustness tax stays under 3x on both latency and goodput.
+    assert result["p99_cost"] < 3.0
+    assert result["goodput_cost"] < 3.0
+
+    # Circuit-breaker trips are visible in the event log...
+    trip_events = [
+        e for e in result["hardened_events"]
+        if e.kind is EventKind.BREAKER_TRIP
+    ]
+    assert trip_events
+    assert any(e.core_id == result["bad_core_id"] for e in trip_events)
+
+    # ...and measurably accelerate quarantine of the offending core
+    # compared to per-response validation signals alone.
+    assert result["quarantine_tick_breaker"] is not None
+    assert result["quarantine_tick_validator_only"] is not None
+    assert (
+        result["quarantine_tick_breaker"]
+        < result["quarantine_tick_validator_only"]
+    )

@@ -5,13 +5,16 @@ Usage::
     python -m repro list                  # experiment catalog
     python -m repro run E3                # one experiment, rendered
     python -m repro run F1 --scale ci     # the figure, at smoke scale
+    python -m repro run E15 --seed 7      # reproducible from the shell
     python -m repro run all --scale ci    # everything (slow at full scale)
+    python -m repro serve                 # the E15 chaos campaign, CI scale
     python -m repro cases                 # the §2 named defect case studies
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Sequence
@@ -29,17 +32,24 @@ _CI_KWARGS: dict[str, dict] = {
     "E9": dict(n_rates=40),
     "E10": dict(n_machines=20),
     "E11": dict(n_units=15),
+    "E15": dict(ticks=250),
 }
 
 
-def _run_one(experiment_id: str, scale: str) -> int:
+def _run_one(experiment_id: str, scale: str, seed: int | None = None) -> int:
     try:
         title, runner = EXPERIMENTS[experiment_id]
     except KeyError:
         print(f"unknown experiment {experiment_id!r}; try `list`",
               file=sys.stderr)
         return 2
-    kwargs = _CI_KWARGS.get(experiment_id, {}) if scale == "ci" else {}
+    kwargs = dict(_CI_KWARGS.get(experiment_id, {})) if scale == "ci" else {}
+    if seed is not None:
+        if "seed" in inspect.signature(runner).parameters:
+            kwargs["seed"] = seed
+        else:
+            print(f"note: {experiment_id} does not take a seed; ignoring",
+                  file=sys.stderr)
     print(f"== {experiment_id}: {title} ==")
     started = time.time()
     result = runner(**kwargs)
@@ -90,11 +100,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("cases", help="screen the §2 named defect cases")
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
-        "experiment", help="experiment ID (F1, E1..E14) or 'all'"
+        "experiment", help="experiment ID (F1, E1..E15) or 'all'"
     )
     run_parser.add_argument(
         "--scale", choices=("full", "ci"), default="full",
         help="ci = smoke-test sizes",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed for runners that take one (reproducible runs)",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the E15 serving-under-CEE chaos campaign at CI scale",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=None, help="campaign master seed",
     )
 
     args = parser.parse_args(argv)
@@ -102,12 +123,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "cases":
         return _cmd_cases()
+    if args.command == "serve":
+        return _run_one("E15", "ci", seed=args.seed)
     if args.experiment == "all":
         status = 0
         for eid in EXPERIMENTS:
-            status = max(status, _run_one(eid, args.scale))
+            status = max(status, _run_one(eid, args.scale, seed=args.seed))
         return status
-    return _run_one(args.experiment.upper(), args.scale)
+    return _run_one(args.experiment.upper(), args.scale, seed=args.seed)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ class EventKind(enum.Enum):
     USER_REPORT = "user_report"                   # human-filed suspicion
     APP_REPORT = "app_report"                     # CoreComplaintService RPC
     DATA_CORRUPTION = "data_corruption"           # found corrupt at rest
+    BREAKER_TRIP = "breaker_trip"                 # serving circuit breaker
 
 
 class Reporter(enum.Enum):

@@ -35,6 +35,10 @@ DEFAULT_WEIGHTS: Mapping[EventKind, float] = {
     EventKind.SANITIZER: 0.7,
     EventKind.DATA_CORRUPTION: 1.0,
     EventKind.USER_REPORT: 1.0,
+    # A serving-layer circuit-breaker trip is already an aggregate of
+    # several correlated per-request failures on one core, so it weighs
+    # more than any single signal (recidivism pre-packaged, §6).
+    EventKind.BREAKER_TRIP: 4.0,
 }
 
 

@@ -16,7 +16,7 @@ op mix avoids a quarantined core's implicated units back onto that core
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Collection, Sequence
 
 from repro.detection.quarantine import heuristic_safe_op_mix
 from repro.fleet.machine import Machine
@@ -45,6 +45,7 @@ class ScheduleStats:
     placed_on_quarantined: int = 0
     slots_total: int = 0
     slots_stranded: int = 0
+    slots_excluded: int = 0
 
     @property
     def stranded_fraction(self) -> float:
@@ -76,18 +77,33 @@ class FleetScheduler:
     def _all_cores(self) -> list[Core]:
         return [core for machine in self.machines for core in machine.cores]
 
-    def schedule(self, tasks: Sequence[Task]) -> tuple[list[Placement], ScheduleStats]:
+    def schedule(
+        self,
+        tasks: Sequence[Task],
+        exclude_core_ids: Collection[str] | None = None,
+    ) -> tuple[list[Placement], ScheduleStats]:
         """Place each task on a free core slot; round-robin over machines.
 
         Returns placements plus capacity accounting.  One task per core
         slot (the scheduler's unit of capacity).
+
+        Args:
+            exclude_core_ids: cores the caller has already committed
+                elsewhere (e.g. serving replicas being re-placed after
+                a quarantine, which must not land back on an occupied
+                or suspect core).  Excluded slots are accounted
+                separately from quarantine-stranded ones.
         """
+        exclude = frozenset(exclude_core_ids or ())
         stats = ScheduleStats()
         placements: list[Placement] = []
         free_online: list[Core] = []
         free_quarantined: list[Core] = []
         for core in self._all_cores():
             stats.slots_total += 1
+            if core.core_id in exclude:
+                stats.slots_excluded += 1
+                continue
             if core.online:
                 free_online.append(core)
             else:

@@ -1,0 +1,65 @@
+"""CEE-hardened serving: an RPC layer that tolerates mercurial cores.
+
+§7's ask is software that *tolerates* mercurial cores, not just
+detection: this package models a request/response service running on
+fleet cores (:mod:`repro.serving.service`), the hardening toolkit
+around it (:mod:`repro.serving.robustness`), a chaos fault-injection
+harness (:mod:`repro.serving.chaos`), and the campaign driver + SLO
+scorecard (:mod:`repro.serving.campaign`).
+"""
+
+from repro.serving.campaign import (
+    CampaignConfig,
+    ServingCampaign,
+    SloScorecard,
+    build_serving_fleet,
+)
+from repro.serving.chaos import ChaosAction, ChaosKind, ChaosSchedule
+from repro.serving.robustness import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HardeningConfig,
+    HedgePolicy,
+    LoadShedConfig,
+    LoadShedder,
+    ResponseValidator,
+    RetryPolicy,
+)
+from repro.serving.service import (
+    Attempt,
+    AttemptOutcome,
+    Request,
+    Response,
+    ResponseStatus,
+    RoundRobinRouter,
+    ServerReplica,
+)
+
+__all__ = [
+    "Attempt",
+    "AttemptOutcome",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CampaignConfig",
+    "ChaosAction",
+    "ChaosKind",
+    "ChaosSchedule",
+    "CircuitBreaker",
+    "HardeningConfig",
+    "HedgePolicy",
+    "LoadShedConfig",
+    "LoadShedder",
+    "Request",
+    "Response",
+    "ResponseStatus",
+    "ResponseValidator",
+    "RetryPolicy",
+    "RoundRobinRouter",
+    "ServerReplica",
+    "ServingCampaign",
+    "SloScorecard",
+    "build_serving_fleet",
+]

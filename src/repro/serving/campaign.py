@@ -1,0 +1,623 @@
+"""Serving campaigns: traffic + chaos + hardening + SLO scorecard.
+
+A campaign drives a request stream against an :mod:`repro.serving`
+service for a scripted number of ticks, injects
+:class:`~repro.serving.chaos.ChaosSchedule` faults along the way, and
+scores the configuration on the metrics a service owner actually has
+SLOs for:
+
+- **corrupt-response escape rate** — well-formed but wrong responses
+  delivered as OK (the paper's silent-corruption hazard, measured
+  against ground truth the service itself never sees);
+- **availability** — fraction of arrivals answered OK in deadline;
+- **p99 latency proxy** — tail of the simulated end-to-end latency;
+- **goodput** — *valid* OK responses per tick.
+
+The campaign also runs the detection loop the paper's §6 describes,
+scaled down to serving time: validator catches and breaker trips become
+:class:`~repro.core.events.CeeEvent` entries, a
+:class:`~repro.detection.signals.SignalAnalyzer` turns them into
+per-core suspicion, and a :class:`~repro.core.policy.QuarantinePolicy`
+pulls the offending core out of the replica set — at which point the
+:class:`~repro.fleet.scheduler.FleetScheduler` re-places the replica on
+a spare core.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.detection.signals import SignalAnalyzer
+from repro.fleet.machine import Machine
+from repro.fleet.product import CpuProduct
+from repro.fleet.scheduler import FleetScheduler, Task
+from repro.serving.chaos import ChaosKind, ChaosSchedule
+from repro.serving.robustness import (
+    BreakerBoard,
+    HardeningConfig,
+    LoadShedder,
+    ResponseValidator,
+)
+from repro.serving.service import (
+    Attempt,
+    AttemptOutcome,
+    Request,
+    Response,
+    ResponseStatus,
+    RoundRobinRouter,
+    ServerReplica,
+)
+from repro.silicon.aging import AgingProfile
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.units import FunctionalUnit, Op
+
+MS_PER_DAY = 86_400_000.0
+
+
+@dataclasses.dataclass
+class CampaignConfig:
+    """Traffic, capacity and timing knobs for one campaign."""
+
+    ticks: int = 800
+    tick_ms: float = 2.0
+    arrivals_per_tick: float = 3.0
+    n_replicas: int = 4
+    per_replica_per_tick: int = 2
+    payload_bytes: int = 16
+    deadline_ms: float = 30.0
+    base_latency_ms: float = 1.0
+    straggler_prob: float = 0.03
+    straggler_factor: float = 12.0
+    #: connection-failure penalty when a core drops mid-RPC
+    offline_penalty_ms: float = 0.5
+    #: machine-check penalty (the OS eats the fault and kills the RPC)
+    mce_penalty_ms: float = 2.0
+    policy: PolicyConfig = dataclasses.field(default_factory=PolicyConfig)
+
+    @property
+    def capacity_per_tick(self) -> int:
+        return self.n_replicas * self.per_replica_per_tick
+
+
+@dataclasses.dataclass
+class SloScorecard:
+    """What one campaign configuration achieved."""
+
+    name: str
+    total_arrivals: int = 0
+    ok: int = 0
+    corrupt_escapes: int = 0
+    corrupt_caught: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    unavailable: int = 0
+    failed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    machine_checks: int = 0
+    breaker_trips: int = 0
+    ticks: int = 0
+    quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    latencies_ms: list[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        if self.total_arrivals == 0:
+            return 1.0
+        return self.ok / self.total_arrivals
+
+    @property
+    def escape_rate(self) -> float:
+        """Corrupt responses delivered per OK response."""
+        if self.ok == 0:
+            return 0.0
+        return self.corrupt_escapes / self.ok
+
+    @property
+    def valid_ok(self) -> int:
+        return self.ok - self.corrupt_escapes
+
+    @property
+    def goodput_per_tick(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.valid_ok / self.ticks
+
+    @property
+    def throughput_per_tick(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.ok / self.ticks
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.array(self.latencies_ms), q))
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def summary_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.escape_rate:.2%}",
+            f"{self.availability:.2%}",
+            f"{self.p99_latency_ms:.1f}",
+            f"{self.goodput_per_tick:.2f}",
+            str(self.corrupt_caught),
+            str(self.breaker_trips),
+            str(len(self.quarantine_tick)),
+        ]
+
+
+class ServingCampaign:
+    """One configuration, one fleet, one chaos script, one scorecard."""
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        config: CampaignConfig | None = None,
+        hardening: HardeningConfig | None = None,
+        chaos: ChaosSchedule | None = None,
+        seed: int = 0,
+    ):
+        self.machines = machines
+        self.config = config or CampaignConfig()
+        self.hardening = hardening or HardeningConfig.hardened()
+        self.chaos = chaos or ChaosSchedule()
+        self.chaos.reset()
+        self.rng = np.random.default_rng(seed)
+
+        self.events = EventLog()
+        self._core_by_id: dict[str, Core] = {}
+        self._machine_by_core: dict[str, str] = {}
+        for machine in machines:
+            for core in machine.cores:
+                self._core_by_id[core.core_id] = core
+                self._machine_by_core[core.core_id] = machine.machine_id
+
+        n_cores = len(self._core_by_id)
+        self.analyzer = SignalAnalyzer(tracker=SuspicionTracker())
+        self.policy = QuarantinePolicy(self.config.policy, fleet_cores=n_cores)
+
+        # The client's own core is trusted (healthy by construction);
+        # the end-to-end argument needs at least one honest endpoint.
+        self.client_core = Core(
+            "client/c00", rng=np.random.default_rng(seed + 1)
+        )
+        self.validator = (
+            ResponseValidator(self.client_core)
+            if self.hardening.validate else None
+        )
+        self.breakers = (
+            BreakerBoard(
+                self.hardening.breaker,
+                event_log=self.events,
+                machine_of=self._machine_by_core,
+            )
+            if self.hardening.breaker else None
+        )
+        self.shedder = (
+            LoadShedder(self.hardening.shed) if self.hardening.shed else None
+        )
+
+        self.scheduler = FleetScheduler(machines)
+        self.router = RoundRobinRouter(self._place_initial_replicas())
+
+        self.scorecard = SloScorecard(name=self.hardening.name)
+        self._queue: list[Request] = []
+        self._next_request_id = 0
+        self._restore_at: dict[str, int] = {}
+        self._burst_multiplier = 1.0
+        self._burst_until = -1
+        self._events_seen = 0
+        self.responses: list[Response] = []
+
+    # -- placement -----------------------------------------------------
+
+    def _make_replica(self, core: Core, index: int) -> ServerReplica:
+        cfg = self.config
+        return ServerReplica(
+            f"replica/{index}",
+            core,
+            base_latency_ms=cfg.base_latency_ms,
+            straggler_prob=cfg.straggler_prob,
+            straggler_factor=cfg.straggler_factor,
+        )
+
+    def _place_initial_replicas(self) -> list[ServerReplica]:
+        tasks = [
+            Task(f"replica/{i}", op_mix={Op.COPY: 1.0})
+            for i in range(self.config.n_replicas)
+        ]
+        placements, _ = self.scheduler.schedule(tasks)
+        if len(placements) < self.config.n_replicas:
+            raise ValueError(
+                "fleet too small for the requested replica count"
+            )
+        return [
+            self._make_replica(self._core_by_id[p.core_id], i)
+            for i, p in enumerate(placements)
+        ]
+
+    def _replace_replica(self, replica: ServerReplica) -> None:
+        """Re-place one replica off its (now quarantined) core."""
+        occupied = {r.core_id for r in self.router.replicas}
+        quarantined = set(self.policy.quarantined) | set(
+            self.scorecard.quarantine_tick
+        )
+        placements, _ = self.scheduler.schedule(
+            [Task(replica.replica_id, op_mix={Op.COPY: 1.0})],
+            exclude_core_ids=occupied | quarantined,
+        )
+        if not placements:
+            return  # degraded: serve with fewer replicas
+        new_core = self._core_by_id[placements[0].core_id]
+        self.router.replace(
+            replica,
+            self._make_replica(new_core, len(self.router.replicas)),
+        )
+
+    # -- event plumbing ------------------------------------------------
+
+    def _emit(
+        self, now_ms: float, core_id: str, kind: EventKind, detail: str
+    ) -> None:
+        self.events.append(
+            CeeEvent(
+                time_days=now_ms / MS_PER_DAY,
+                machine_id=self._machine_by_core.get(
+                    core_id, core_id.rsplit("/", 1)[0]
+                ),
+                core_id=core_id,
+                kind=kind,
+                reporter=Reporter.AUTOMATED,
+                application="serving",
+                detail=detail,
+            )
+        )
+
+    # -- one request ---------------------------------------------------
+
+    def _attempt_once(
+        self,
+        replica: ServerReplica,
+        request: Request,
+        expected_checksum: int | None,
+        now_ms: float,
+        hedged: bool = False,
+    ) -> tuple[Attempt, bytes | None]:
+        cfg = self.config
+        core_id = replica.core_id
+        try:
+            payload, latency = replica.serve(request, self.rng)
+        except MachineCheckError:
+            self.scorecard.machine_checks += 1
+            self._emit(now_ms, core_id, EventKind.MACHINE_CHECK, "mce in RPC")
+            if self.breakers:
+                self.breakers.record_failure(core_id, now_ms, "machine check")
+            return (
+                Attempt(core_id, AttemptOutcome.MACHINE_CHECK,
+                        cfg.mce_penalty_ms, hedged),
+                None,
+            )
+        except CoreOfflineError:
+            return (
+                Attempt(core_id, AttemptOutcome.CORE_OFFLINE,
+                        cfg.offline_penalty_ms, hedged),
+                None,
+            )
+        if self.validator is not None and expected_checksum is not None:
+            if not self.validator.validate(expected_checksum, payload):
+                self.scorecard.corrupt_caught += 1
+                self._emit(
+                    now_ms, core_id, EventKind.APP_REPORT,
+                    "e2e checksum mismatch",
+                )
+                if self.breakers:
+                    self.breakers.record_failure(
+                        core_id, now_ms, "checksum mismatch"
+                    )
+                return (
+                    Attempt(core_id, AttemptOutcome.CORRUPT_CAUGHT,
+                            latency, hedged),
+                    None,
+                )
+        if self.breakers:
+            self.breakers.record_success(core_id, now_ms)
+        return Attempt(core_id, AttemptOutcome.OK, latency, hedged), payload
+
+    def _dispatch(self, request: Request, now_ms: float,
+                  queue_wait_ms: float) -> Response:
+        hardening = self.hardening
+        expected = (
+            self.validator.checksum(request.payload)
+            if self.validator is not None else None
+        )
+        max_attempts = hardening.retry.max_attempts if hardening.retry else 1
+        attempts: list[Attempt] = []
+        tried: set[str] = set()
+        total_latency = queue_wait_ms
+
+        for attempt_index in range(max_attempts):
+            exclude = set(tried) if (
+                hardening.retry and hardening.retry.core_diversity
+            ) else set()
+            if self.breakers:
+                exclude |= self.breakers.open_core_ids(now_ms)
+            replica = self.router.pick(exclude)
+            if replica is None:
+                break
+            if attempt_index > 0:
+                self.scorecard.retries += 1
+                total_latency += hardening.retry.backoff_ms(
+                    attempt_index - 1, self.rng
+                )
+            attempt, payload = self._attempt_once(
+                replica, request, expected, now_ms
+            )
+            attempts.append(attempt)
+            tried.add(replica.core_id)
+            effective = attempt.latency_ms
+            winner = replica.core_id
+
+            # Tail hedging: duplicate a slow-looking primary elsewhere.
+            if (
+                hardening.hedge
+                and attempt.outcome is AttemptOutcome.OK
+                and attempt.latency_ms > hardening.hedge.hedge_delay_ms
+            ):
+                hedge_exclude = exclude | {replica.core_id}
+                hedge_replica = self.router.pick(hedge_exclude)
+                if hedge_replica is not None:
+                    self.scorecard.hedges += 1
+                    h_attempt, h_payload = self._attempt_once(
+                        hedge_replica, request, expected, now_ms, hedged=True
+                    )
+                    attempts.append(h_attempt)
+                    tried.add(hedge_replica.core_id)
+                    if h_attempt.outcome is AttemptOutcome.OK:
+                        h_effective = (
+                            hardening.hedge.hedge_delay_ms
+                            + h_attempt.latency_ms
+                        )
+                        if h_effective < effective:
+                            effective = h_effective
+                            payload = h_payload
+                            winner = hedge_replica.core_id
+
+            total_latency += effective
+            if attempt.outcome is AttemptOutcome.OK:
+                status = (
+                    ResponseStatus.OK
+                    if total_latency <= request.deadline_ms
+                    else ResponseStatus.TIMEOUT
+                )
+                return Response(
+                    request.request_id, status, payload, winner,
+                    total_latency, attempts,
+                    validated=self.validator is not None,
+                )
+
+        status = (
+            ResponseStatus.UNAVAILABLE if not attempts
+            else ResponseStatus.FAILED
+        )
+        return Response(
+            request.request_id, status, None, None, total_latency, attempts
+        )
+
+    # -- chaos ---------------------------------------------------------
+
+    def _apply_chaos(self, tick: int) -> None:
+        for action in self.chaos.due(tick):
+            if action.kind is ChaosKind.ACTIVATE_DEFECT:
+                core = self._core_by_id.get(action.core_id)
+                if core is not None:
+                    core.advance_age(action.magnitude)
+            elif action.kind is ChaosKind.CRASH_CORE:
+                core = self._core_by_id.get(action.core_id)
+                if core is not None:
+                    core.set_online(False)
+                    self._restore_at[action.core_id] = (
+                        tick + max(1, action.duration_ticks)
+                    )
+            elif action.kind is ChaosKind.MACHINE_CHECK_BURST:
+                for replica in self.router.replicas:
+                    if replica.core_id == action.core_id:
+                        replica.forced_mce_remaining += int(action.magnitude)
+            elif action.kind is ChaosKind.TRAFFIC_BURST:
+                self._burst_multiplier = action.magnitude
+                self._burst_until = tick + max(1, action.duration_ticks)
+
+        # Transient crashes recover — unless the policy pulled the core.
+        for core_id, restore_tick in list(self._restore_at.items()):
+            if tick >= restore_tick:
+                del self._restore_at[core_id]
+                if core_id not in self.scorecard.quarantine_tick:
+                    self._core_by_id[core_id].set_online(True)
+        if tick >= self._burst_until:
+            self._burst_multiplier = 1.0
+
+    # -- detection loop ------------------------------------------------
+
+    def _run_policy(self, tick: int, now_ms: float) -> None:
+        new_events = self.events.tail(self._events_seen)
+        self._events_seen = len(self.events)
+        self.analyzer.ingest_all(new_events)
+
+        now_days = now_ms / MS_PER_DAY
+        for core_id, score in self.analyzer.suspects(
+            now_days, threshold=self.config.policy.retest_threshold
+        ):
+            core = self._core_by_id.get(core_id)
+            if core is None or core_id in self.scorecard.quarantine_tick:
+                continue
+            decision = self.policy.decide(core_id, score, confessed=False)
+            if decision.action in (
+                Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE
+            ):
+                self._quarantine(core_id, tick)
+                if decision.action is Action.QUARANTINE_MACHINE:
+                    machine_id = self._machine_by_core[core_id]
+                    for sibling_id, owner in self._machine_by_core.items():
+                        if owner == machine_id:
+                            self._quarantine(sibling_id, tick)
+
+        for replica in self.router.replicas:
+            if replica.core_id in self.scorecard.quarantine_tick:
+                self._replace_replica(replica)
+
+    def _quarantine(self, core_id: str, tick: int) -> None:
+        if core_id in self.scorecard.quarantine_tick:
+            return
+        self._core_by_id[core_id].set_online(False)
+        self.scorecard.quarantine_tick[core_id] = tick
+        self._restore_at.pop(core_id, None)
+
+    # -- the main loop -------------------------------------------------
+
+    def run(self) -> SloScorecard:
+        cfg = self.config
+        card = self.scorecard
+        for tick in range(cfg.ticks):
+            now_ms = tick * cfg.tick_ms
+            self._apply_chaos(tick)
+
+            live = len(self.router.live_replicas())
+            capacity = live * cfg.per_replica_per_tick
+            arrivals = int(self.rng.poisson(
+                cfg.arrivals_per_tick * self._burst_multiplier
+            ))
+            card.total_arrivals += arrivals
+
+            admitted = arrivals
+            if self.shedder is not None:
+                admitted = self.shedder.admit(
+                    len(self._queue), arrivals, max(capacity, 1)
+                )
+                card.shed += arrivals - admitted
+            for _ in range(admitted):
+                payload = self.rng.bytes(cfg.payload_bytes)
+                self._queue.append(
+                    Request(
+                        request_id=self._next_request_id,
+                        payload=payload,
+                        deadline_ms=cfg.deadline_ms,
+                        arrival_tick=tick,
+                    )
+                )
+                self._next_request_id += 1
+
+            batch, self._queue = (
+                self._queue[:capacity], self._queue[capacity:]
+            )
+            for request in batch:
+                queue_wait = (tick - request.arrival_tick) * cfg.tick_ms
+                response = self._dispatch(request, now_ms, queue_wait)
+                self.responses.append(response)
+                self._score(request, response)
+
+            self._run_policy(tick, now_ms)
+
+        # Whatever is still queued at the end never got served.
+        for request in self._queue:
+            card.unavailable += 1
+        self._queue.clear()
+        card.ticks = cfg.ticks
+        if self.breakers:
+            card.breaker_trips = self.breakers.total_trips
+        return card
+
+    def _score(self, request: Request, response: Response) -> None:
+        card = self.scorecard
+        if response.status is ResponseStatus.OK:
+            card.ok += 1
+            card.latencies_ms.append(response.latency_ms)
+            # Ground truth (the experimenter's oracle, never the
+            # service's): an echo service must return what it was sent.
+            if response.payload != request.payload:
+                card.corrupt_escapes += 1
+        elif response.status is ResponseStatus.TIMEOUT:
+            card.timeouts += 1
+        elif response.status is ResponseStatus.UNAVAILABLE:
+            card.unavailable += 1
+        elif response.status is ResponseStatus.FAILED:
+            card.failed += 1
+
+
+# ---------------------------------------------------------------------
+# fleet construction for serving experiments
+# ---------------------------------------------------------------------
+
+def build_serving_fleet(
+    n_machines: int = 4,
+    cores_per_machine: int = 4,
+    bad_machine: int = 0,
+    bad_core: int = 1,
+    base_rate: float = 0.05,
+    onset_days: float = 0.0,
+    seed: int = 7,
+) -> tuple[list[Machine], str]:
+    """A small fleet with exactly one (possibly late-onset) bad core.
+
+    The defect is a stuck-bit on the load/store unit — the §2
+    "repeated bit-flips ... at a particular bit position" archetype,
+    which corrupts the serving copy path while leaving responses
+    well-formed.  Returns (machines, bad core id).
+    """
+    product = CpuProduct(
+        vendor="sim", sku=f"serving-{cores_per_machine}c",
+        cores_per_machine=cores_per_machine, core_prevalence=0.0,
+    )
+    root = np.random.default_rng(seed)
+    machines: list[Machine] = []
+    bad_core_id = ""
+    for m in range(n_machines):
+        machine_id = f"m{m:05d}"
+        cores = []
+        for c in range(cores_per_machine):
+            core_id = f"{machine_id}/c{c:02d}"
+            defects = ()
+            if m == bad_machine and c == bad_core:
+                bad_core_id = core_id
+                defects = (
+                    StuckBitDefect(
+                        f"defect/{core_id}",
+                        bit=17,
+                        base_rate=base_rate,
+                        unit=FunctionalUnit.LOAD_STORE,
+                        aging=AgingProfile(onset_days=onset_days),
+                    ),
+                )
+            cores.append(
+                Core(
+                    core_id,
+                    defects=defects,
+                    rng=np.random.default_rng(root.integers(2**63)),
+                )
+            )
+        machines.append(
+            Machine(machine_id=machine_id, product=product, chip=Chip(cores))
+        )
+    return machines, bad_core_id
+
+
+__all__ = [
+    "CampaignConfig",
+    "ServingCampaign",
+    "SloScorecard",
+    "build_serving_fleet",
+]

@@ -1,0 +1,201 @@
+"""A simulated RPC service whose server cores may be mercurial.
+
+§7's call to action is software that *tolerates* mercurial cores, and
+the Facebook SDC-at-scale follow-up work frames silent corruption as a
+fleet-*serving* problem: a defective core in a service stack returns a
+*corrupted but well-formed* response, and nothing at the RPC layer
+looks wrong.  This module models exactly that hazard:
+
+- a :class:`Request` carries a payload and a deadline;
+- a :class:`ServerReplica` wraps one fleet :class:`~repro.silicon.core.Core`
+  and serves requests by moving the payload through the core's copy
+  datapath (:func:`repro.workloads.copying.copy_bytes`), so a defective
+  load/store or shared-logic unit corrupts real bytes exactly where a
+  real one would;
+- an :class:`RpcService` routes requests across replicas placed on
+  fleet cores by the :class:`~repro.fleet.scheduler.FleetScheduler`,
+  applying whatever hardening (validation, retries, hedging, breakers)
+  the configuration enables — see :mod:`repro.serving.robustness`.
+
+Latency is a proxy model (milliseconds of simulated time), not wall
+clock: base service time plus seeded jitter, occasional stragglers
+(the hedging target), queueing delay added by the campaign driver, and
+backoff delay added by the retry policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.silicon.core import Core
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.workloads.copying import copy_bytes
+
+
+class ResponseStatus(enum.Enum):
+    """Terminal status of one request, as the client sees it."""
+
+    OK = "ok"                  # a response was delivered in time
+    TIMEOUT = "timeout"        # deadline exceeded (incl. retries/backoff)
+    SHED = "shed"              # load shedder refused it at admission
+    UNAVAILABLE = "unavailable"  # no live replica to serve it
+    FAILED = "failed"          # every attempt errored or was rejected
+
+
+class AttemptOutcome(enum.Enum):
+    """What one server-side attempt produced."""
+
+    OK = "ok"
+    CORRUPT_CAUGHT = "corrupt_caught"  # validator rejected the response
+    MACHINE_CHECK = "machine_check"    # fail-noisy defect fired mid-RPC
+    CORE_OFFLINE = "core_offline"      # crash / quarantine raced the RPC
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One client request.
+
+    Attributes:
+        request_id: unique id within a campaign.
+        payload: bytes the service must echo back intact.
+        deadline_ms: end-to-end latency budget.
+        arrival_tick: campaign tick the request arrived on.
+    """
+
+    request_id: int
+    payload: bytes
+    deadline_ms: float
+    arrival_tick: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Attempt:
+    """One try at one replica."""
+
+    core_id: str
+    outcome: AttemptOutcome
+    latency_ms: float
+    hedged: bool = False
+
+
+@dataclasses.dataclass
+class Response:
+    """What the client ultimately observes for one request."""
+
+    request_id: int
+    status: ResponseStatus
+    payload: bytes | None
+    core_id: str | None
+    latency_ms: float
+    attempts: list[Attempt] = dataclasses.field(default_factory=list)
+    validated: bool = False
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+
+class ServerReplica:
+    """One serving process pinned to one fleet core.
+
+    The replica's entire data path runs through :meth:`Core.execute`,
+    so a mercurial core silently corrupts the echoed payload — the
+    response stays well-formed (right length, right framing) and only
+    an end-to-end check can tell it is wrong.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        core: Core,
+        base_latency_ms: float = 1.0,
+        straggler_prob: float = 0.03,
+        straggler_factor: float = 12.0,
+    ):
+        self.replica_id = replica_id
+        self.core = core
+        self.base_latency_ms = base_latency_ms
+        self.straggler_prob = straggler_prob
+        self.straggler_factor = straggler_factor
+        #: chaos hook: force the next N requests to raise machine checks
+        self.forced_mce_remaining = 0
+        self.requests_served = 0
+
+    @property
+    def core_id(self) -> str:
+        return self.core.core_id
+
+    @property
+    def available(self) -> bool:
+        return self.core.online
+
+    def sample_latency_ms(self, rng: np.random.Generator) -> float:
+        """Service-time proxy: base + exponential tail, rare stragglers."""
+        latency = self.base_latency_ms * (0.6 + float(rng.exponential(0.5)))
+        if rng.random() < self.straggler_prob:
+            latency *= self.straggler_factor
+        return latency
+
+    def serve(self, request: Request, rng: np.random.Generator) -> tuple[bytes, float]:
+        """Serve one request; returns (response payload, latency ms).
+
+        Raises:
+            MachineCheckError: a fail-noisy defect (or chaos) fired.
+            CoreOfflineError: the core crashed or was quarantined.
+        """
+        latency = self.sample_latency_ms(rng)
+        if self.forced_mce_remaining > 0:
+            self.forced_mce_remaining -= 1
+            raise MachineCheckError(
+                self.core_id, "copy", "chaos-injected machine check"
+            )
+        echoed = copy_bytes(self.core, request.payload)
+        self.requests_served += 1
+        return echoed, latency
+
+
+class RoundRobinRouter:
+    """Client-side load balancer over the live replica set.
+
+    ``pick`` honours an exclusion set (cores already tried — the retry
+    policy's *core-diversity* rule — or cores whose circuit breaker is
+    open), so a retry is never sent back to the suspect core.
+    """
+
+    def __init__(self, replicas: list[ServerReplica]):
+        self.replicas = list(replicas)
+        self._cursor = 0
+
+    def live_replicas(self) -> list[ServerReplica]:
+        return [r for r in self.replicas if r.available]
+
+    def pick(self, exclude_core_ids: set[str] | None = None) -> ServerReplica | None:
+        """Next available replica not in the exclusion set, or None."""
+        exclude = exclude_core_ids or set()
+        n = len(self.replicas)
+        for offset in range(n):
+            replica = self.replicas[(self._cursor + offset) % n]
+            if not replica.available or replica.core_id in exclude:
+                continue
+            self._cursor = (self._cursor + offset + 1) % n
+            return replica
+        return None
+
+    def replace(self, old: ServerReplica, new: ServerReplica) -> None:
+        """Swap a replica (re-placement after quarantine/crash)."""
+        index = self.replicas.index(old)
+        self.replicas[index] = new
+
+
+__all__ = [
+    "Attempt",
+    "AttemptOutcome",
+    "Request",
+    "Response",
+    "ResponseStatus",
+    "RoundRobinRouter",
+    "ServerReplica",
+]

@@ -36,3 +36,42 @@ class TestCli:
         out = capsys.readouterr().out
         assert "self_inverting_aes" in out
         assert "confessed: True" in out
+
+
+class TestSeedFlag:
+    def test_seed_is_forwarded_and_reproducible(self, capsys):
+        assert main(["run", "E13", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "E13", "--seed", "9"]) == 0
+        second = capsys.readouterr().out
+        # Strip the wall-clock line; everything else must match.
+        strip = lambda s: [  # noqa: E731
+            line for line in s.splitlines() if not line.startswith("[")
+        ]
+        assert strip(first) == strip(second)
+
+    def test_seed_on_seedless_runner_warns_but_runs(
+        self, capsys, monkeypatch
+    ):
+        from repro.analysis.experiments import EXPERIMENTS
+
+        def seedless():
+            return {"rendered": "seedless ok"}
+
+        monkeypatch.setitem(EXPERIMENTS, "EX", ("seedless stub", seedless))
+        assert main(["run", "EX", "--seed", "9"]) == 0
+        captured = capsys.readouterr()
+        assert "does not take a seed" in captured.err
+        assert "seedless ok" in captured.out
+
+
+class TestServeCommand:
+    def test_serve_runs_the_chaos_campaign(self, capsys):
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "E15" in out
+        assert "hardened" in out
+
+    def test_serve_accepts_a_seed(self, capsys):
+        assert main(["serve", "--seed", "4"]) == 0
+        assert "E15" in capsys.readouterr().out

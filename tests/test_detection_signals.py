@@ -21,8 +21,16 @@ class TestSignalAnalyzer:
         assert analyzer.tracker.score("m0/c1", 0.0) == \
             DEFAULT_WEIGHTS[EventKind.MACHINE_CHECK]
 
-    def test_screen_fail_weighs_most(self):
-        assert DEFAULT_WEIGHTS[EventKind.SCREEN_FAIL] == max(
+    def test_screen_fail_weighs_most_of_single_observations(self):
+        # A breaker trip is an aggregate of several correlated failures,
+        # so it may outweigh everything; among *single*-observation
+        # signals, a confessed screening failure stays the strongest.
+        singles = {
+            kind: weight for kind, weight in DEFAULT_WEIGHTS.items()
+            if kind is not EventKind.BREAKER_TRIP
+        }
+        assert DEFAULT_WEIGHTS[EventKind.SCREEN_FAIL] == max(singles.values())
+        assert DEFAULT_WEIGHTS[EventKind.BREAKER_TRIP] == max(
             DEFAULT_WEIGHTS.values()
         )
 

@@ -41,6 +41,36 @@ class TestScheduling:
         _, stats = FleetScheduler(machines).schedule([])
         assert stats.stranded_fraction == len(machines[0].cores) / total
 
+    def test_exclude_core_ids_skips_those_slots(self):
+        machines = _small_fleet()
+        scheduler = FleetScheduler(machines)
+        excluded = {machines[0].cores[0].core_id,
+                    machines[0].cores[1].core_id}
+        _, total = scheduler.capacity()
+        placements, stats = scheduler.schedule(
+            [Task(f"t{i}") for i in range(total)],
+            exclude_core_ids=excluded,
+        )
+        assert excluded.isdisjoint({p.core_id for p in placements})
+        assert stats.slots_excluded == len(excluded)
+        assert stats.unplaceable == len(excluded)
+
+    def test_exclusion_composes_with_quarantine(self):
+        machines = _small_fleet()
+        quarantined = machines[0].cores[0]
+        quarantined.set_online(False)
+        excluded = machines[0].cores[1].core_id
+        scheduler = FleetScheduler(machines)
+        _, total = scheduler.capacity()
+        placements, stats = scheduler.schedule(
+            [Task(f"t{i}") for i in range(total)],
+            exclude_core_ids={excluded},
+        )
+        placed_on = {p.core_id for p in placements}
+        assert quarantined.core_id not in placed_on
+        assert excluded not in placed_on
+        assert stats.slots_excluded == 1  # quarantine counted separately
+
 
 class TestSafeTaskPlacement:
     def test_safe_task_reclaims_quarantined_core(self):

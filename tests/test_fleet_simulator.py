@@ -2,14 +2,24 @@
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.core.events import EventKind, Reporter
 from repro.core.metrics import confusion
-from repro.fleet.population import FleetBuilder, ground_truth_map
+from repro.core.policy import PolicyConfig
+from repro.fleet.machine import Machine
+from repro.fleet.population import (
+    FleetBuilder,
+    FleetGroundTruth,
+    ground_truth_map,
+)
 from repro.fleet.product import CpuProduct, DEFAULT_PRODUCTS
 from repro.fleet.simulator import FleetSimulator, SimulatorConfig
-from repro.silicon.aging import WeibullOnset
+from repro.silicon.aging import AgingProfile, WeibullOnset
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.units import FunctionalUnit
 
 
 def _dense_products(scale=40.0):
@@ -156,3 +166,125 @@ class TestConfigKnobs:
         result = FleetSimulator(machines, truth, config, seed=2).run()
         detected = result.quarantined_cores & truth.mercurial_core_ids
         assert detected
+
+
+def _bespoke_fleet(n_bad=3, onset_days=0.0, base_rate=1e-4):
+    """Two 4-core machines; the first carries ``n_bad`` loud mercurial
+    cores (c00..), so the machine_core_limit escalation is reachable
+    deterministically."""
+    product = CpuProduct(
+        vendor="sim", sku="bespoke-4c", cores_per_machine=4,
+        core_prevalence=0.0,
+    )
+    machines, mercurial, onsets = [], set(), {}
+    for m in range(2):
+        machine_id = f"m{m:05d}"
+        cores = []
+        for c in range(4):
+            core_id = f"{machine_id}/c{c:02d}"
+            defects = ()
+            if m == 0 and c < n_bad:
+                defects = (
+                    StuckBitDefect(
+                        f"d/{core_id}", bit=3, base_rate=base_rate,
+                        unit=FunctionalUnit.LOAD_STORE,
+                        aging=AgingProfile(onset_days=onset_days),
+                    ),
+                )
+                mercurial.add(core_id)
+                onsets[core_id] = onset_days
+            cores.append(
+                Core(
+                    core_id, defects=defects,
+                    rng=np.random.default_rng(100 + m * 4 + c),
+                )
+            )
+        machines.append(
+            Machine(
+                machine_id=machine_id, product=product, chip=Chip(cores),
+                deploy_day=-60.0,
+            )
+        )
+    truth = FleetGroundTruth(
+        mercurial_core_ids=mercurial, onset_days_by_core=onsets
+    )
+    return machines, truth
+
+
+def _quiet_config(**overrides):
+    """No human channel, no background noise: the policy path alone."""
+    defaults = dict(
+        horizon_days=40.0, warmup_days=0.0,
+        p_user_surface=0.0, bg_crash_rate=0.0, bg_user_rate=0.0,
+        policy=PolicyConfig(
+            machine_core_limit=3, max_quarantined_fraction=1.0
+        ),
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+class TestQuarantineMachine:
+    """The Action.QUARANTINE_MACHINE escalation path (simulator.py)."""
+
+    @pytest.fixture(scope="class")
+    def escalated(self):
+        machines, truth = _bespoke_fleet(n_bad=3)
+        result = FleetSimulator(machines, truth, _quiet_config(), seed=5).run()
+        return machines, truth, result
+
+    def test_third_bad_core_pulls_the_whole_machine(self, escalated):
+        _, truth, result = escalated
+        assert truth.mercurial_core_ids <= result.quarantined_cores
+        # The healthy sibling goes down with the machine...
+        assert "m00000/c03" in result.quarantined_cores
+        # ...while the all-healthy second machine is untouched.
+        assert not any(
+            core_id.startswith("m00001/")
+            for core_id in result.quarantined_cores
+        )
+
+    def test_sibling_gets_a_quarantine_day_but_no_latency_entry(
+        self, escalated
+    ):
+        _, _, result = escalated
+        # detection_latency_days is a *detection* metric: only truly
+        # mercurial cores belong in it; collateral siblings do not.
+        assert "m00000/c03" in result.quarantine_day
+        assert "m00000/c03" not in result.detection_latency_days
+
+    def test_sibling_quarantined_same_day_as_the_escalating_core(
+        self, escalated
+    ):
+        _, truth, result = escalated
+        escalation_day = max(
+            result.quarantine_day[c] for c in truth.mercurial_core_ids
+        )
+        assert result.quarantine_day["m00000/c03"] == escalation_day
+
+    def test_below_the_limit_no_machine_escalation(self):
+        machines, truth = _bespoke_fleet(n_bad=2)
+        result = FleetSimulator(machines, truth, _quiet_config(), seed=5).run()
+        assert truth.mercurial_core_ids <= result.quarantined_cores
+        assert "m00000/c03" not in result.quarantined_cores
+
+
+class TestDetectionLatencyAccounting:
+    def test_latency_clamped_for_defects_older_than_the_campaign(self):
+        # The machine deployed 60 days before t=0, so an onset age of
+        # 50 days predates the campaign: the core was already bad when
+        # observation started and the latency clamp must hold at zero
+        # (a negative "latency" would poison the E-series averages).
+        machines, truth = _bespoke_fleet(n_bad=1, onset_days=50.0)
+        result = FleetSimulator(machines, truth, _quiet_config(), seed=5).run()
+        assert "m00000/c00" in result.detection_latency_days
+        assert result.quarantine_day["m00000/c00"] < 50.0
+        assert result.detection_latency_days["m00000/c00"] == 0.0
+
+    def test_day_one_defect_latency_equals_quarantine_day(self):
+        machines, truth = _bespoke_fleet(n_bad=1, onset_days=0.0)
+        result = FleetSimulator(machines, truth, _quiet_config(), seed=5).run()
+        latency = result.detection_latency_days["m00000/c00"]
+        assert latency == pytest.approx(
+            result.quarantine_day["m00000/c00"]
+        )

@@ -1,0 +1,217 @@
+"""Serving layer units: replicas, router, and the robustness toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventKind, EventLog
+from repro.serving.robustness import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HardeningConfig,
+    LoadShedConfig,
+    LoadShedder,
+    ResponseValidator,
+    RetryPolicy,
+)
+from repro.serving.service import Request, RoundRobinRouter, ServerReplica
+from repro.silicon.core import Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.units import FunctionalUnit
+
+
+def _replica(core_id="srv/c00", defects=(), seed=0, **kwargs) -> ServerReplica:
+    core = Core(core_id, defects=defects, rng=np.random.default_rng(seed))
+    return ServerReplica(core_id, core, **kwargs)
+
+
+def _bad_replica(core_id="srv/bad", base_rate=1.0, seed=0) -> ServerReplica:
+    defect = StuckBitDefect(
+        "d0", bit=7, base_rate=base_rate, unit=FunctionalUnit.LOAD_STORE
+    )
+    return _replica(core_id, defects=(defect,), seed=seed)
+
+
+def _request(payload=b"0123456789abcdef", request_id=0) -> Request:
+    return Request(request_id=request_id, payload=payload, deadline_ms=50.0)
+
+
+class TestServerReplica:
+    def test_healthy_replica_echoes_payload(self, rng):
+        replica = _replica()
+        payload, latency = replica.serve(_request(), rng)
+        assert payload == b"0123456789abcdef"
+        assert latency > 0.0
+
+    def test_mercurial_replica_corrupts_but_stays_well_formed(self, rng):
+        replica = _bad_replica(base_rate=1.0)
+        request = _request()
+        payload, _ = replica.serve(request, rng)
+        assert payload != request.payload      # corrupted...
+        assert len(payload) == len(request.payload)  # ...but well-formed
+
+    def test_offline_core_raises(self, rng):
+        replica = _replica()
+        replica.core.set_online(False)
+        with pytest.raises(CoreOfflineError):
+            replica.serve(_request(), rng)
+
+    def test_forced_mce_raises_and_decrements(self, rng):
+        replica = _replica()
+        replica.forced_mce_remaining = 1
+        with pytest.raises(MachineCheckError):
+            replica.serve(_request(), rng)
+        payload, _ = replica.serve(_request(), rng)
+        assert payload == _request().payload
+
+
+class TestRouter:
+    def test_round_robin_spreads_load(self):
+        replicas = [_replica(f"srv/c{i:02d}", seed=i) for i in range(3)]
+        router = RoundRobinRouter(replicas)
+        picked = [router.pick().core_id for _ in range(6)]
+        assert picked == [
+            "srv/c00", "srv/c01", "srv/c02",
+            "srv/c00", "srv/c01", "srv/c02",
+        ]
+
+    def test_pick_honours_exclusions(self):
+        replicas = [_replica(f"srv/c{i:02d}", seed=i) for i in range(3)]
+        router = RoundRobinRouter(replicas)
+        picked = router.pick(exclude_core_ids={"srv/c00", "srv/c01"})
+        assert picked.core_id == "srv/c02"
+
+    def test_pick_skips_offline_and_returns_none_when_drained(self):
+        replicas = [_replica(f"srv/c{i:02d}", seed=i) for i in range(2)]
+        for replica in replicas:
+            replica.core.set_online(False)
+        router = RoundRobinRouter(replicas)
+        assert router.pick() is None
+
+
+class TestValidator:
+    def test_validator_passes_intact_payload(self):
+        validator = ResponseValidator(
+            Core("client/c00", rng=np.random.default_rng(0))
+        )
+        checksum = validator.checksum(b"hello world")
+        assert validator.validate(checksum, b"hello world")
+        assert validator.mismatches == 0
+
+    def test_validator_catches_single_bit_corruption(self):
+        validator = ResponseValidator(
+            Core("client/c00", rng=np.random.default_rng(0))
+        )
+        checksum = validator.checksum(b"hello world")
+        assert not validator.validate(checksum, b"hellp world")
+        assert validator.mismatches == 1
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_ms=2.0, multiplier=2.0, max_backoff_ms=10.0,
+            jitter=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_ms(i, rng) for i in range(4)]
+        assert delays == [2.0, 4.0, 8.0, 10.0]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_backoff_ms=8.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            delay = policy.backoff_ms(0, rng)
+            assert 4.0 <= delay <= 8.0
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_within_window(self):
+        breaker = CircuitBreaker(
+            "c0", BreakerConfig(failure_threshold=3, window_ms=100.0)
+        )
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(10.0)
+        assert breaker.record_failure(20.0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows(50.0)
+
+    def test_old_failures_age_out_of_window(self):
+        breaker = CircuitBreaker(
+            "c0", BreakerConfig(failure_threshold=3, window_ms=100.0)
+        )
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        assert not breaker.record_failure(500.0)  # first two aged out
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_then_close_on_success(self):
+        config = BreakerConfig(
+            failure_threshold=1, window_ms=100.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        assert not breaker.allows(10.0)
+        assert breaker.allows(60.0)  # cooldown elapsed -> half-open probe
+        breaker.record_success(61.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens(self):
+        config = BreakerConfig(
+            failure_threshold=1, window_ms=100.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        assert breaker.allows(60.0)
+        assert breaker.record_failure(61.0)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_board_emits_trip_event(self):
+        log = EventLog()
+        board = BreakerBoard(
+            BreakerConfig(failure_threshold=2, window_ms=100.0),
+            event_log=log,
+            machine_of={"m0/c00": "m0"},
+        )
+        board.record_failure("m0/c00", 1.0, "checksum mismatch")
+        board.record_failure("m0/c00", 2.0, "checksum mismatch")
+        trips = [e for e in log if e.kind is EventKind.BREAKER_TRIP]
+        assert len(trips) == 1
+        assert trips[0].core_id == "m0/c00"
+        assert trips[0].machine_id == "m0"
+        assert board.total_trips == 1
+
+
+class TestLoadShedder:
+    def test_admits_everything_under_capacity(self):
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=3.0))
+        assert shedder.admit(queue_len=0, arrivals=5, capacity=10) == 5
+        assert shedder.shed_count == 0
+
+    def test_sheds_past_queue_limit(self):
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=2.0))
+        admitted = shedder.admit(queue_len=18, arrivals=10, capacity=10)
+        assert admitted == 2   # limit 20, room for 2
+        assert shedder.shed_count == 8
+
+
+class TestHardeningConfig:
+    def test_unhardened_disables_everything(self):
+        config = HardeningConfig.unhardened()
+        assert not config.validate
+        assert config.retry is None
+        assert config.hedge is None
+        assert config.breaker is None
+        assert config.shed is None
+
+    def test_validator_only_drops_breaker_keeps_validation(self):
+        config = HardeningConfig.validator_only()
+        assert config.validate
+        assert config.breaker is None
+        assert config.retry is not None
