@@ -1,12 +1,15 @@
 """E15 — serving under CEE: hardened vs unhardened chaos campaigns."""
 
+from benchmarks.conftest import is_ci_scale
+
 from repro.analysis.experiments import run_serving_under_cee
 from repro.core.events import EventKind
 
 
 def test_e15_serving(benchmark, show):
+    ticks = 400 if is_ci_scale() else 1000
     result = benchmark.pedantic(
-        run_serving_under_cee, kwargs=dict(ticks=1000), rounds=1, iterations=1
+        run_serving_under_cee, kwargs=dict(ticks=ticks), rounds=1, iterations=1
     )
     show(result["rendered"])
 

@@ -1,0 +1,58 @@
+"""E16 — replicated storage under CEE: durable-path chaos campaigns."""
+
+from benchmarks.conftest import is_ci_scale
+
+from repro.analysis.experiments import run_storage_under_cee
+from repro.core.events import EventKind
+from repro.storage.campaign import STORAGE_EVENT_KINDS
+
+
+def test_e16_storage(benchmark, show):
+    ticks = 200 if is_ci_scale() else 600
+    result = benchmark.pedantic(
+        run_storage_under_cee, kwargs=dict(ticks=ticks), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+
+    # Corruption really reaches clients of the trusting store...
+    assert result["escape_rate_unprotected"] > 0.0
+    # ...and the full stack cuts the durable escape rate by >= 10x.
+    assert (
+        result["escape_rate_protected"]
+        <= result["escape_rate_unprotected"] / 10.0
+    )
+
+    # The Section 5.2 hazard: without verify-after-encrypt, acked keys
+    # become permanently unrecoverable; the full stack loses none.
+    assert result["unrecoverable_unprotected"] > 0
+    assert result["unrecoverable_protected"] == 0
+
+    # The defence stack costs < 3x the baseline's write amplification.
+    assert result["write_amp_cost"] < 3.0
+
+    # Storage integrity signals show up as first-class suspicion events
+    # against the defective core...
+    storage_events = [
+        e for e in result["protected_events"]
+        if e.kind in STORAGE_EVENT_KINDS
+    ]
+    assert storage_events
+    assert any(
+        e.core_id == result["bad_core_id"]
+        and e.kind is EventKind.ENCRYPT_VERIFY_FAIL
+        for e in storage_events
+    )
+
+    # ...and drive quarantine: the protected store evicts the bad core
+    # (no later than the generic-weight ablation does), while the
+    # trusting baseline never fingers it.
+    assert result["quarantine_tick_dedicated"] is not None
+    assert result["quarantine_tick_generic"] is not None
+    assert (
+        result["quarantine_tick_dedicated"]
+        <= result["quarantine_tick_generic"]
+    )
+    assert (
+        result["bad_core_id"]
+        not in result["unprotected"].quarantine_tick
+    )

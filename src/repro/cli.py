@@ -8,6 +8,9 @@ Usage::
     python -m repro run E15 --seed 7      # reproducible from the shell
     python -m repro run all --scale ci    # everything (slow at full scale)
     python -m repro serve                 # the E15 chaos campaign, CI scale
+    python -m repro serve --json          # machine-readable SLO scorecards
+    python -m repro store                 # the E16 storage campaign, CI scale
+    python -m repro store --json          # machine-readable durability scorecards
     python -m repro cases                 # the §2 named defect case studies
 """
 
@@ -15,6 +18,8 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
+import math
 import sys
 import time
 from typing import Sequence
@@ -33,7 +38,39 @@ _CI_KWARGS: dict[str, dict] = {
     "E10": dict(n_machines=20),
     "E11": dict(n_units=15),
     "E15": dict(ticks=250),
+    "E16": dict(ticks=200),
 }
+
+#: campaign experiments with ``--json`` scorecard output: experiment id
+#: → (scorecard result keys, headline metric result keys)
+_CAMPAIGN_JSON_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "E15": (
+        ("unhardened", "hardened", "validator_only"),
+        ("bad_core_id", "escape_rate_unhardened", "escape_rate_hardened",
+         "escape_reduction", "p99_cost", "goodput_cost",
+         "quarantine_tick_breaker", "quarantine_tick_validator_only"),
+    ),
+    "E16": (
+        ("unprotected", "quorum_only", "no_encrypt_verify",
+         "generic_weights", "protected"),
+        ("bad_core_id", "escape_rate_unprotected", "escape_rate_protected",
+         "escape_reduction", "write_amp_cost", "unrecoverable_unprotected",
+         "unrecoverable_no_verify", "unrecoverable_protected",
+         "quarantine_tick_dedicated", "quarantine_tick_generic"),
+    ),
+}
+
+
+def _runner_kwargs(experiment_id: str, scale: str, seed: int | None,
+                   runner) -> dict:
+    kwargs = dict(_CI_KWARGS.get(experiment_id, {})) if scale == "ci" else {}
+    if seed is not None:
+        if "seed" in inspect.signature(runner).parameters:
+            kwargs["seed"] = seed
+        else:
+            print(f"note: {experiment_id} does not take a seed; ignoring",
+                  file=sys.stderr)
+    return kwargs
 
 
 def _run_one(experiment_id: str, scale: str, seed: int | None = None) -> int:
@@ -43,19 +80,41 @@ def _run_one(experiment_id: str, scale: str, seed: int | None = None) -> int:
         print(f"unknown experiment {experiment_id!r}; try `list`",
               file=sys.stderr)
         return 2
-    kwargs = dict(_CI_KWARGS.get(experiment_id, {})) if scale == "ci" else {}
-    if seed is not None:
-        if "seed" in inspect.signature(runner).parameters:
-            kwargs["seed"] = seed
-        else:
-            print(f"note: {experiment_id} does not take a seed; ignoring",
-                  file=sys.stderr)
+    kwargs = _runner_kwargs(experiment_id, scale, seed, runner)
     print(f"== {experiment_id}: {title} ==")
     started = time.time()
     result = runner(**kwargs)
     elapsed = time.time() - started
     print(result["rendered"])
     print(f"[{elapsed:.1f}s]")
+    return 0
+
+
+def _jsonable(value):
+    """Strict-JSON-safe scalar: non-finite floats become None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _run_campaign_json(experiment_id: str, seed: int | None) -> int:
+    """Run a chaos campaign and print its scorecards as strict JSON."""
+    title, runner = EXPERIMENTS[experiment_id]
+    card_keys, metric_keys = _CAMPAIGN_JSON_KEYS[experiment_id]
+    kwargs = _runner_kwargs(experiment_id, "ci", seed, runner)
+    result = runner(**kwargs)
+    payload = {
+        "experiment": experiment_id,
+        "title": title,
+        "scorecards": {
+            key: result[key].to_json() for key in card_keys
+        },
+        "metrics": {
+            key: _jsonable(result[key]) for key in metric_keys
+        },
+    }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
     return 0
 
 
@@ -100,7 +159,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("cases", help="screen the §2 named defect cases")
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
-        "experiment", help="experiment ID (F1, E1..E15) or 'all'"
+        "experiment", help="experiment ID (F1, E1..E16) or 'all'"
     )
     run_parser.add_argument(
         "--scale", choices=("full", "ci"), default="full",
@@ -110,21 +169,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--seed", type=int, default=None,
         help="master seed for runners that take one (reproducible runs)",
     )
-    serve_parser = subparsers.add_parser(
-        "serve",
-        help="run the E15 serving-under-CEE chaos campaign at CI scale",
-    )
-    serve_parser.add_argument(
-        "--seed", type=int, default=None, help="campaign master seed",
-    )
+    for name, experiment_id, help_text in (
+        ("serve", "E15",
+         "run the E15 serving-under-CEE chaos campaign at CI scale"),
+        ("store", "E16",
+         "run the E16 storage-under-CEE chaos campaign at CI scale"),
+    ):
+        campaign_parser = subparsers.add_parser(name, help=help_text)
+        campaign_parser.add_argument(
+            "--seed", type=int, default=None, help="campaign master seed",
+        )
+        campaign_parser.add_argument(
+            "--json", action="store_true",
+            help="print machine-readable scorecards instead of tables",
+        )
+        campaign_parser.set_defaults(experiment_id=experiment_id)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "cases":
         return _cmd_cases()
-    if args.command == "serve":
-        return _run_one("E15", "ci", seed=args.seed)
+    if args.command in ("serve", "store"):
+        if args.json:
+            return _run_campaign_json(args.experiment_id, seed=args.seed)
+        return _run_one(args.experiment_id, "ci", seed=args.seed)
     if args.experiment == "all":
         status = 0
         for eid in EXPERIMENTS:

@@ -29,6 +29,10 @@ class EventKind(enum.Enum):
     APP_REPORT = "app_report"                     # CoreComplaintService RPC
     DATA_CORRUPTION = "data_corruption"           # found corrupt at rest
     BREAKER_TRIP = "breaker_trip"                 # serving circuit breaker
+    WAL_CORRUPTION = "wal_corruption"             # bad CRC at WAL replay
+    SCRUB_MISMATCH = "scrub_mismatch"             # background scrub divergence
+    QUORUM_MISMATCH = "quorum_mismatch"           # voted read disagreement
+    ENCRYPT_VERIFY_FAIL = "encrypt_verify_fail"   # decrypt-elsewhere check
 
 
 class Reporter(enum.Enum):

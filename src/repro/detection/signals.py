@@ -21,25 +21,13 @@ from typing import Mapping, Sequence
 
 from repro.core.confidence import SuspicionTracker
 from repro.core.events import CeeEvent, EventKind
+from repro.detection.weights import default_weights
 
-
-#: default evidence weight per signal kind; machine checks are hard
-#: evidence, sanitizer hits are often software bugs, user reports are
-#: noisy but §6 says half pan out.
-DEFAULT_WEIGHTS: Mapping[EventKind, float] = {
-    EventKind.MACHINE_CHECK: 2.5,
-    EventKind.SCREEN_FAIL: 3.0,
-    EventKind.SELF_CHECK_FAILURE: 1.5,
-    EventKind.APP_REPORT: 1.2,
-    EventKind.CRASH: 0.8,
-    EventKind.SANITIZER: 0.7,
-    EventKind.DATA_CORRUPTION: 1.0,
-    EventKind.USER_REPORT: 1.0,
-    # A serving-layer circuit-breaker trip is already an aggregate of
-    # several correlated per-request failures on one core, so it weighs
-    # more than any single signal (recidivism pre-packaged, §6).
-    EventKind.BREAKER_TRIP: 4.0,
-}
+#: default evidence weight per signal kind.  The authoritative table —
+#: every kind, with the rationale for its weight — lives in
+#: :mod:`repro.detection.weights`; this is the flat mapping the
+#: analyzer consumes.
+DEFAULT_WEIGHTS: Mapping[EventKind, float] = default_weights()
 
 
 @dataclasses.dataclass

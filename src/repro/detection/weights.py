@@ -1,0 +1,142 @@
+"""The suspicion-weight table: how much each signal kind is worth.
+
+§6 ranks signal sources by how often they pan out: machine checks are
+hard evidence, crashes are mostly software, "about half" of human
+reports turn out to be real CEEs.  Every :class:`~repro.core.events.EventKind`
+the infrastructure can emit has exactly one entry here — weight plus the
+reasoning behind it — so the evidence model is auditable in one place
+instead of scattered through the analyzer.  ``test_detection_signals``
+enforces the completeness invariant: adding an :class:`EventKind`
+without adding a weight is a test failure, not a silent 1.0 default.
+
+Calibration conventions:
+
+- weights are roughly "equivalent independent observations": a weight-3
+  signal moves suspicion as much as three weight-1 signals;
+- the default :class:`~repro.core.policy.PolicyConfig` quarantines at
+  score 6.0, so a weight says how many repeats of that signal alone
+  should condemn a core;
+- *aggregate* signals (a breaker trip is already several correlated
+  per-request failures) may exceed any single observation;
+- among single observations, a confessed screening failure
+  (``SCREEN_FAIL``) stays the ceiling — it is a targeted test failing
+  on known inputs, the closest thing to a confession.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.core.events import EventKind
+
+
+@dataclasses.dataclass(frozen=True)
+class SuspicionWeight:
+    """One signal kind's evidence value, with its justification."""
+
+    weight: float
+    rationale: str
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("suspicion weights must be positive")
+
+
+#: the single source of truth for per-kind evidence weights
+SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
+    EventKind.BREAKER_TRIP: SuspicionWeight(
+        4.0,
+        "a serving circuit-breaker trip is already an aggregate of "
+        "several correlated per-request failures on one core — "
+        "recidivism pre-packaged (§6)",
+    ),
+    EventKind.SCREEN_FAIL: SuspicionWeight(
+        3.0,
+        "a targeted screening test failed on known inputs; the closest "
+        "signal to a confession, and the strongest single observation",
+    ),
+    EventKind.ENCRYPT_VERIFY_FAIL: SuspicionWeight(
+        3.0,
+        "decrypt-on-a-second-core disagreed with the encrypting core, "
+        "and a third core arbitrated the blame — a cross-core-confirmed "
+        "miscomputation (the §5.2 unrecoverable-encryption incident, "
+        "caught before the ack)",
+    ),
+    EventKind.MACHINE_CHECK: SuspicionWeight(
+        2.5,
+        "logged MCEs are hard hardware evidence, though not always "
+        "attributable to a specific defective core",
+    ),
+    EventKind.QUORUM_MISMATCH: SuspicionWeight(
+        2.2,
+        "a voted quorum read found one replica disagreeing with the "
+        "majority; the divergent bytes implicate that replica's core "
+        "directly (Spanner-style dual computation, §7)",
+    ),
+    EventKind.WAL_CORRUPTION: SuspicionWeight(
+        2.0,
+        "a CRC-framed log record failed verification at replay; the "
+        "frame was computed before the bytes crossed the replica core, "
+        "so the corruption happened on that core's write path",
+    ),
+    EventKind.SCRUB_MISMATCH: SuspicionWeight(
+        1.8,
+        "background scrubbing found a replica's at-rest checksum "
+        "diverging from the quorum; strong but slightly ambiguous — "
+        "the scrub read itself also crossed the suspect core",
+    ),
+    EventKind.SELF_CHECK_FAILURE: SuspicionWeight(
+        1.5,
+        "an application-level self-check tripped; real evidence, but "
+        "application checks also catch their own software bugs",
+    ),
+    EventKind.APP_REPORT: SuspicionWeight(
+        1.2,
+        "a CoreComplaintService-style RPC from an application; curated "
+        "but second-hand",
+    ),
+    EventKind.DATA_CORRUPTION: SuspicionWeight(
+        1.0,
+        "data found corrupt at rest; attribution to the corrupting "
+        "core is long after the fact",
+    ),
+    EventKind.USER_REPORT: SuspicionWeight(
+        1.0,
+        "human-filed suspicion: noisy, but §6 says about half pan out",
+    ),
+    EventKind.CRASH: SuspicionWeight(
+        0.8,
+        "process/kernel crashes are common and mostly software; only "
+        "core-concentrated repeats matter",
+    ),
+    EventKind.SANITIZER: SuspicionWeight(
+        0.7,
+        "tool-chain sanitizer hits are usually genuine software bugs; "
+        "the weakest automatable signal",
+    ),
+}
+
+
+def default_weights() -> dict[EventKind, float]:
+    """The plain ``kind → weight`` mapping the analyzer consumes."""
+    return {kind: entry.weight for kind, entry in SUSPICION_WEIGHTS.items()}
+
+
+def describe_weights() -> str:
+    """Human-readable weight table, heaviest first (for reports)."""
+    ordered = sorted(
+        SUSPICION_WEIGHTS.items(), key=lambda kv: kv[1].weight, reverse=True
+    )
+    return "\n".join(
+        f"{kind.value:<22} {entry.weight:>4.1f}  {entry.rationale}"
+        for kind, entry in ordered
+    )
+
+
+__all__ = [
+    "SUSPICION_WEIGHTS",
+    "SuspicionWeight",
+    "default_weights",
+    "describe_weights",
+]

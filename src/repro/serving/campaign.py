@@ -36,7 +36,7 @@ from repro.detection.signals import SignalAnalyzer
 from repro.fleet.machine import Machine
 from repro.fleet.product import CpuProduct
 from repro.fleet.scheduler import FleetScheduler, Task
-from repro.serving.chaos import ChaosKind, ChaosSchedule
+from repro.chaos import ChaosKind, ChaosSchedule
 from repro.serving.robustness import (
     BreakerBoard,
     HardeningConfig,
@@ -160,6 +160,31 @@ class SloScorecard:
             str(self.breaker_trips),
             str(len(self.quarantine_tick)),
         ]
+
+    def to_json(self) -> dict:
+        """Machine-readable SLO scorecard (CI asserts on these keys)."""
+        return {
+            "name": self.name,
+            "ticks": self.ticks,
+            "total_arrivals": self.total_arrivals,
+            "ok": self.ok,
+            "escape_rate": self.escape_rate,
+            "corrupt_escapes": self.corrupt_escapes,
+            "corrupt_caught": self.corrupt_caught,
+            "availability": self.availability,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "goodput_per_tick": self.goodput_per_tick,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "unavailable": self.unavailable,
+            "failed": self.failed,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "machine_checks": self.machine_checks,
+            "breaker_trips": self.breaker_trips,
+            "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+        }
 
 
 class ServingCampaign:

@@ -1,0 +1,73 @@
+"""Corruption-tolerant replicated storage on mercurial cores.
+
+PR 1 hardened the *serving* path; the paper's worst incidents are on
+the *durable* path — "corruption of the database index" visible only
+via one core, and encryption on a mercurial core that made data
+permanently unrecoverable (§5.2).  This package builds the durable-path
+defense in depth the paper and the SDC-at-scale follow-ups call for:
+
+- :mod:`repro.storage.wal` — a CRC-framed write-ahead log whose frames
+  are sealed *before* the bytes cross the replica core, with
+  replay-time verification and torn/corrupt-record truncation;
+- :mod:`repro.storage.replica` — one storage replica: memtable + WAL +
+  compaction, every byte moved through its fleet core;
+- :mod:`repro.storage.store` — the replicated KV store: quorum writes,
+  voted quorum reads with read-repair, and the key-wrap
+  verify-after-encrypt check (decrypt on a second core, arbitrate on a
+  third) that prevents the §5.2 unrecoverable-encryption incident;
+- :mod:`repro.storage.scrub` — a background scrubber comparing replica
+  checksums over a rotating key window;
+- :mod:`repro.storage.antientropy` — Merkle-tree anti-entropy sync
+  that finds divergent ranges in O(log n) comparisons and repairs them
+  from the healthy quorum;
+- :mod:`repro.storage.campaign` — the chaos campaign driver and its
+  durable-corruption SLO scorecard (escape rate, unrecoverable-loss
+  rate, repair latency, write amplification), wired into the
+  detection → quarantine loop.
+
+Every integrity signal becomes a first-class
+:class:`~repro.core.events.CeeEvent` (``WAL_CORRUPTION``,
+``SCRUB_MISMATCH``, ``QUORUM_MISMATCH``, ``ENCRYPT_VERIFY_FAIL``)
+with a documented suspicion weight in
+:mod:`repro.detection.weights`.
+"""
+
+from repro.storage.antientropy import AntiEntropy, SyncReport, build_merkle_tree
+from repro.storage.campaign import (
+    StorageCampaign,
+    StorageCampaignConfig,
+    StorageProtections,
+    StorageScorecard,
+    build_storage_fleet,
+)
+from repro.storage.replica import StorageReplica
+from repro.storage.scrub import Scrubber, ScrubReport
+from repro.storage.store import (
+    ReadResult,
+    ReplicatedKVStore,
+    StoreConfig,
+    WriteResult,
+)
+from repro.storage.wal import ReplayReport, WalRecord, WriteAheadLog, host_crc64
+
+__all__ = [
+    "AntiEntropy",
+    "ReadResult",
+    "ReplayReport",
+    "ReplicatedKVStore",
+    "Scrubber",
+    "ScrubReport",
+    "StorageCampaign",
+    "StorageCampaignConfig",
+    "StorageProtections",
+    "StorageReplica",
+    "StorageScorecard",
+    "StoreConfig",
+    "SyncReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "WriteResult",
+    "build_merkle_tree",
+    "build_storage_fleet",
+    "host_crc64",
+]

@@ -1,0 +1,760 @@
+"""Storage campaigns: write/read traffic + chaos + a durability scorecard.
+
+The serving campaign (PR 1) asked "does a hardened RPC service keep its
+SLOs on mercurial cores?".  This campaign asks the durable-path version
+of the same question: drive a write/read stream against a
+:class:`~repro.storage.store.ReplicatedKVStore` whose replicas and
+coordinators run on fleet cores, inject the shared
+:class:`~repro.chaos.ChaosSchedule` faults (late-onset defect
+activation, replica crashes with torn WAL tails, machine-check bursts,
+write bursts), and score the configuration on the metrics a storage
+owner has SLOs for:
+
+- **durable-corruption escape rate** — OK reads that returned bytes
+  differing from what the client wrote (ground truth the store never
+  sees);
+- **unrecoverable-loss rate** — keys for which *no* replica holds a
+  copy that decrypts to the written value at campaign end (the §5.2
+  "data loss ... only detected at decryption time" hazard);
+- **repair latency** — ticks between a replica copy first diverging
+  from ground truth and a verified repair landing;
+- **write amplification** — physical bytes moved through cores per
+  logical byte written (the cost side of the WAL + quorum + scrub +
+  anti-entropy defence stack).
+
+Storage integrity signals feed the same detection → quarantine loop as
+serving: ``WAL_CORRUPTION``, ``SCRUB_MISMATCH``, ``QUORUM_MISMATCH``
+and ``ENCRYPT_VERIFY_FAIL`` events raise per-core suspicion with the
+weights from :mod:`repro.detection.weights`, and the policy pulls the
+defective core out of the replica set mid-campaign.  The baseline shows
+the dual failure: with no integrity signals, the only evidence is the
+chaos machine-check burst on a *healthy* replica — so the unprotected
+fleet tends to quarantine the noisy innocent core while the silent
+corruptor keeps serving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.chaos import ChaosKind, ChaosSchedule
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.detection.signals import SignalAnalyzer, SignalAnalyzerConfig
+from repro.detection.weights import default_weights
+from repro.fleet.machine import Machine
+from repro.fleet.product import CpuProduct
+from repro.fleet.scheduler import FleetScheduler, Task
+from repro.silicon.aging import AgingProfile
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import SboxPermutationDefect, StuckBitDefect
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.units import FunctionalUnit, Op
+from repro.storage.antientropy import AntiEntropy
+from repro.storage.replica import StorageReplica
+from repro.storage.scrub import Scrubber
+from repro.storage.store import ReplicatedKVStore, StoreConfig
+from repro.workloads.crypto import BLOCK_BYTES
+
+MS_PER_DAY = 86_400_000.0
+
+#: the storage-originated suspicion signals (satellite of the E16 loop)
+STORAGE_EVENT_KINDS = (
+    EventKind.WAL_CORRUPTION,
+    EventKind.SCRUB_MISMATCH,
+    EventKind.QUORUM_MISMATCH,
+    EventKind.ENCRYPT_VERIFY_FAIL,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StorageProtections:
+    """Which layers of the durable-path defence stack are enabled."""
+
+    name: str
+    store: StoreConfig = dataclasses.field(default_factory=StoreConfig)
+    use_wal: bool = True
+    verify_wal_on_replay: bool = True
+    scrub: bool = True
+    antientropy: bool = True
+    #: False = ablation where storage event kinds count as generic
+    #: weight-1.0 evidence instead of their dedicated weights
+    dedicated_weights: bool = True
+
+    @classmethod
+    def protected(cls) -> "StorageProtections":
+        """The full stack: WAL + quorum + scrub + anti-entropy."""
+        return cls(name="protected")
+
+    @classmethod
+    def unprotected(cls) -> "StorageProtections":
+        """The baseline: replicated, encrypted, and entirely trusting —
+        no WAL, read-one with decrypt on the replica's own core, no
+        background repair, no integrity signals."""
+        return cls(
+            name="unprotected",
+            store=StoreConfig.unprotected(),
+            use_wal=False,
+            verify_wal_on_replay=False,
+            scrub=False,
+            antientropy=False,
+            dedicated_weights=False,
+        )
+
+    @classmethod
+    def quorum_only(cls) -> "StorageProtections":
+        """Write/read quorums and encrypt-verify, but no background
+        repair — read-repair is the only healing."""
+        return cls(name="quorum-only", scrub=False, antientropy=False)
+
+    @classmethod
+    def no_encrypt_verify(cls) -> "StorageProtections":
+        """Full stack minus the decrypt-elsewhere check.  The quorum
+        layers cannot save a write the coordinator mis-encrypted: every
+        replica holds the *same* wrong ciphertext, the vote agrees on
+        garbage, and the §5.2 unrecoverable loss comes back."""
+        return cls(
+            name="no-encrypt-verify",
+            store=StoreConfig(encrypt_verify=False),
+        )
+
+    @classmethod
+    def generic_weights(cls) -> "StorageProtections":
+        """Full stack, but storage signals weighted like any other
+        event — the quarantine-acceleration ablation."""
+        return cls(name="generic-weights", dedicated_weights=False)
+
+
+@dataclasses.dataclass
+class StorageCampaignConfig:
+    """Traffic, maintenance cadence and policy knobs for one campaign."""
+
+    ticks: int = 600
+    tick_ms: float = 2.0
+    writes_per_tick: float = 1.0
+    reads_per_tick: float = 2.0
+    payload_blocks: int = 1
+    scrub_interval: int = 25
+    scrub_keys_per_round: int = 16
+    antientropy_interval: int = 40
+    compact_interval: int = 50
+    policy: PolicyConfig = dataclasses.field(default_factory=PolicyConfig)
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.payload_blocks * BLOCK_BYTES
+
+
+@dataclasses.dataclass
+class StorageScorecard:
+    """What one storage configuration achieved under chaos."""
+
+    name: str
+    ticks: int = 0
+    writes_attempted: int = 0
+    keys_written: int = 0
+    write_failures: int = 0
+    reads_attempted: int = 0
+    reads_ok: int = 0
+    read_failures: int = 0
+    durable_escapes: int = 0
+    corrupt_reads_caught: int = 0
+    quorum_mismatches: int = 0
+    encrypt_attempts: int = 0
+    encrypt_verify_failures: int = 0
+    scrub_mismatches: int = 0
+    repairs_total: int = 0
+    backfills: int = 0
+    repair_latency_ms: list[float] = dataclasses.field(default_factory=list)
+    wal_corrupt_records: int = 0
+    wal_torn_tails: int = 0
+    wal_records_truncated: int = 0
+    unrecoverable_keys: int = 0
+    lasting_divergence: int = 0
+    machine_checks: int = 0
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+    quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def escape_rate(self) -> float:
+        """Silently-wrong OK reads per OK read (the headline SLO)."""
+        if self.reads_ok == 0:
+            return 0.0
+        return self.durable_escapes / self.reads_ok
+
+    @property
+    def unrecoverable_loss_rate(self) -> float:
+        """Fraction of acked keys no replica can restore to truth."""
+        if self.keys_written == 0:
+            return 0.0
+        return self.unrecoverable_keys / self.keys_written
+
+    @property
+    def read_availability(self) -> float:
+        if self.reads_attempted == 0:
+            return 1.0
+        return self.reads_ok / self.reads_attempted
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical bytes through cores per logical byte acked."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.physical_bytes / self.logical_bytes
+
+    @property
+    def mean_repair_latency_ms(self) -> float:
+        if not self.repair_latency_ms:
+            return 0.0
+        return float(np.mean(np.array(self.repair_latency_ms)))
+
+    @property
+    def p99_repair_latency_ms(self) -> float:
+        if not self.repair_latency_ms:
+            return 0.0
+        return float(np.percentile(np.array(self.repair_latency_ms), 99.0))
+
+    def summary_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.escape_rate:.2%}",
+            f"{self.unrecoverable_loss_rate:.2%}",
+            f"{self.read_availability:.2%}",
+            f"{self.write_amplification:.2f}x",
+            f"{self.mean_repair_latency_ms:.0f}",
+            str(self.corrupt_reads_caught + self.scrub_mismatches),
+            str(self.repairs_total),
+            str(len(self.quarantine_tick)),
+        ]
+
+    def to_json(self) -> dict:
+        """Machine-readable durability scorecard (CI asserts on these)."""
+        return {
+            "name": self.name,
+            "ticks": self.ticks,
+            "writes_attempted": self.writes_attempted,
+            "keys_written": self.keys_written,
+            "write_failures": self.write_failures,
+            "reads_attempted": self.reads_attempted,
+            "reads_ok": self.reads_ok,
+            "read_failures": self.read_failures,
+            "escape_rate": self.escape_rate,
+            "durable_escapes": self.durable_escapes,
+            "unrecoverable_loss_rate": self.unrecoverable_loss_rate,
+            "unrecoverable_keys": self.unrecoverable_keys,
+            "read_availability": self.read_availability,
+            "write_amplification": self.write_amplification,
+            "corrupt_reads_caught": self.corrupt_reads_caught,
+            "quorum_mismatches": self.quorum_mismatches,
+            "encrypt_attempts": self.encrypt_attempts,
+            "encrypt_verify_failures": self.encrypt_verify_failures,
+            "scrub_mismatches": self.scrub_mismatches,
+            "repairs_total": self.repairs_total,
+            "backfills": self.backfills,
+            "mean_repair_latency_ms": self.mean_repair_latency_ms,
+            "p99_repair_latency_ms": self.p99_repair_latency_ms,
+            "wal_corrupt_records": self.wal_corrupt_records,
+            "wal_torn_tails": self.wal_torn_tails,
+            "wal_records_truncated": self.wal_records_truncated,
+            "lasting_divergence": self.lasting_divergence,
+            "machine_checks": self.machine_checks,
+            "logical_bytes": self.logical_bytes,
+            "physical_bytes": self.physical_bytes,
+            "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+        }
+
+
+class StorageCampaign:
+    """One protection stack, one fleet, one chaos script, one scorecard."""
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        protections: StorageProtections | None = None,
+        config: StorageCampaignConfig | None = None,
+        chaos: ChaosSchedule | None = None,
+        seed: int = 0,
+    ):
+        self.machines = machines
+        self.protections = protections or StorageProtections.protected()
+        self.config = config or StorageCampaignConfig()
+        self.chaos = chaos or ChaosSchedule()
+        self.chaos.reset()
+        self.rng = np.random.default_rng(seed)
+
+        self.events = EventLog()
+        self._core_by_id: dict[str, Core] = {}
+        self._machine_by_core: dict[str, str] = {}
+        for machine in machines:
+            for core in machine.cores:
+                self._core_by_id[core.core_id] = core
+                self._machine_by_core[core.core_id] = machine.machine_id
+
+        weights = default_weights()
+        if not self.protections.dedicated_weights:
+            for kind in STORAGE_EVENT_KINDS:
+                weights[kind] = 1.0
+        self.analyzer = SignalAnalyzer(
+            tracker=SuspicionTracker(),
+            config=SignalAnalyzerConfig(weights=weights),
+        )
+        self.policy = QuarantinePolicy(
+            self.config.policy, fleet_cores=len(self._core_by_id)
+        )
+
+        # The client's own core is the honest endpoint of the
+        # end-to-end argument: protected reads decrypt here, and the
+        # final recoverability audit decrypts here.
+        self.client_core = Core(
+            "client/c00", rng=np.random.default_rng(seed + 1)
+        )
+
+        self.scheduler = FleetScheduler(machines)
+        self._replica_counter = 0
+        replicas = self._place_initial_replicas()
+        # Key-wrap duty is colocated with storage: the replica cores
+        # themselves take turns encrypting, so the defective core
+        # regularly handles encryption — the §5.2 setup, where the
+        # machine doing the key-wrap was the mercurial one.
+        coordinators = [replica.core for replica in replicas]
+        self.store = ReplicatedKVStore(
+            replicas,
+            coordinators,
+            self.client_core,
+            config=self.protections.store,
+            emit=self._emit,
+            on_repair=self._on_repair,
+        )
+        self.scrubber = (
+            Scrubber(self.store, self.config.scrub_keys_per_round)
+            if self.protections.scrub else None
+        )
+        self.antientropy = (
+            AntiEntropy(self.store) if self.protections.antientropy else None
+        )
+
+        self.scorecard = StorageScorecard(name=self.protections.name)
+        self.truth: dict[str, bytes] = {}
+        self._truth_payload: dict[str, bytes] = {}
+        self._keys: list[str] = []
+        self._key_seq = 0
+        self._tick = 0
+        self._divergent_since: dict[tuple[str, str], int] = {}
+        self._restore_at: dict[str, int] = {}
+        self._burst_multiplier = 1.0
+        self._burst_until = -1
+        self._events_seen = 0
+        self._retired_physical_bytes = 0
+
+    # -- placement -----------------------------------------------------
+
+    def _make_replica(self, core: Core) -> StorageReplica:
+        replica = StorageReplica(
+            f"store/{self._replica_counter}",
+            core,
+            use_wal=self.protections.use_wal,
+            verify_wal_on_replay=self.protections.verify_wal_on_replay,
+        )
+        self._replica_counter += 1
+        return replica
+
+    def _place_initial_replicas(self) -> list[StorageReplica]:
+        n = self.protections.store.n_replicas
+        tasks = [Task(f"store/{i}", op_mix={Op.COPY: 1.0}) for i in range(n)]
+        placements, _ = self.scheduler.schedule(tasks)
+        if len(placements) < n:
+            raise ValueError("fleet too small for the replica count")
+        return [
+            self._make_replica(self._core_by_id[p.core_id])
+            for p in placements
+        ]
+
+    def _replace_replica(self, index: int) -> None:
+        """Re-place one replica off its (now quarantined) core.
+
+        The replacement starts empty on a spare core; anti-entropy
+        backfills it from the healthy quorum on its next sync round —
+        quarantine costs capacity, not data.
+        """
+        old = self.store.replicas[index]
+        occupied = {r.core_id for r in self.store.replicas}
+        quarantined = set(self.scorecard.quarantine_tick)
+        placements, _ = self.scheduler.schedule(
+            [Task(old.replica_id, op_mix={Op.COPY: 1.0})],
+            exclude_core_ids=occupied | quarantined,
+        )
+        if not placements:
+            return  # degraded: run with fewer replicas
+        self._retired_physical_bytes += old.stats.physical_bytes
+        for (replica_id, key) in list(self._divergent_since):
+            if replica_id == old.replica_id:
+                del self._divergent_since[(replica_id, key)]
+        new_core = self._core_by_id[placements[0].core_id]
+        self.store.replicas[index] = self._make_replica(new_core)
+
+    # -- event plumbing ------------------------------------------------
+
+    def _emit(self, core_id: str, kind: EventKind, detail: str) -> None:
+        self.events.append(
+            CeeEvent(
+                time_days=(self._tick * self.config.tick_ms) / MS_PER_DAY,
+                machine_id=self._machine_by_core.get(
+                    core_id, core_id.rsplit("/", 1)[0]
+                ),
+                core_id=core_id,
+                kind=kind,
+                reporter=Reporter.AUTOMATED,
+                application="storage",
+                detail=detail,
+            )
+        )
+
+    def _on_repair(self, replica_id: str, key: str) -> None:
+        self.scorecard.repairs_total += 1
+        since = self._divergent_since.pop((replica_id, key), None)
+        if since is not None:
+            self.scorecard.repair_latency_ms.append(
+                (self._tick - since) * self.config.tick_ms
+            )
+
+    # -- chaos ---------------------------------------------------------
+
+    def _replica_on(self, core_id: str) -> StorageReplica | None:
+        for replica in self.store.replicas:
+            if replica.core_id == core_id:
+                return replica
+        return None
+
+    def _apply_chaos(self, tick: int) -> None:
+        for action in self.chaos.due(tick):
+            if action.kind is ChaosKind.ACTIVATE_DEFECT:
+                core = self._core_by_id.get(action.core_id)
+                if core is not None:
+                    core.advance_age(action.magnitude)
+            elif action.kind is ChaosKind.CRASH_CORE:
+                core = self._core_by_id.get(action.core_id)
+                if core is None:
+                    continue
+                replica = self._replica_on(action.core_id)
+                if replica is not None and replica.wal is not None:
+                    # A crash interrupts the in-flight append.
+                    if replica.wal.tear_tail():
+                        self.scorecard.wal_torn_tails += 1
+                core.set_online(False)
+                self._restore_at[action.core_id] = (
+                    tick + max(1, action.duration_ticks)
+                )
+            elif action.kind is ChaosKind.MACHINE_CHECK_BURST:
+                replica = self._replica_on(action.core_id)
+                if replica is not None:
+                    replica.forced_mce_remaining += int(action.magnitude)
+            elif action.kind is ChaosKind.TRAFFIC_BURST:
+                self._burst_multiplier = action.magnitude
+                self._burst_until = tick + max(1, action.duration_ticks)
+
+        for core_id, restore_tick in list(self._restore_at.items()):
+            if tick >= restore_tick:
+                del self._restore_at[core_id]
+                if core_id in self.scorecard.quarantine_tick:
+                    continue
+                self._core_by_id[core_id].set_online(True)
+                replica = self._replica_on(core_id)
+                if replica is not None:
+                    self._recover_replica(replica)
+        if tick >= self._burst_until:
+            self._burst_multiplier = 1.0
+
+    def _recover_replica(self, replica: StorageReplica) -> None:
+        """Crash recovery: replay the WAL, surface what it caught."""
+        wal_len = len(replica.wal) if replica.wal is not None else 0
+        report = replica.crash_recover()
+        if report is None:
+            return
+        card = self.scorecard
+        card.wal_corrupt_records += len(report.corrupt_records)
+        if report.truncated_from is not None:
+            card.wal_records_truncated += wal_len - report.truncated_from
+        for index in report.corrupt_records:
+            # A bad CRC on the *final* record is the expected torn-tail
+            # crash artifact, not evidence against the core; anything
+            # earlier was corrupted in flight on the write path.
+            if index == wal_len - 1:
+                continue
+            self._emit(
+                replica.core_id, EventKind.WAL_CORRUPTION,
+                "WAL record failed frame CRC at recovery replay",
+            )
+
+    # -- traffic -------------------------------------------------------
+
+    def _do_writes(self) -> None:
+        card = self.scorecard
+        arrivals = int(self.rng.poisson(
+            self.config.writes_per_tick * self._burst_multiplier
+        ))
+        for _ in range(arrivals):
+            key = f"k{self._key_seq:06d}"
+            self._key_seq += 1
+            value = self.rng.bytes(self.config.payload_bytes)
+            card.writes_attempted += 1
+            result = self.store.put(key, value)
+            card.encrypt_attempts += result.encrypt_attempts
+            card.encrypt_verify_failures += result.encrypt_verify_failures
+            card.machine_checks += result.machine_checks
+            if result.ok:
+                card.keys_written += 1
+                card.logical_bytes += len(value)
+                self.truth[key] = value
+                self._truth_payload[key] = result.ciphertext
+                self._keys.append(key)
+            else:
+                card.write_failures += 1
+
+    def _do_reads(self) -> None:
+        card = self.scorecard
+        if not self._keys:
+            return
+        arrivals = int(self.rng.poisson(
+            self.config.reads_per_tick * self._burst_multiplier
+        ))
+        for _ in range(arrivals):
+            key = self._keys[int(self.rng.integers(len(self._keys)))]
+            card.reads_attempted += 1
+            result = self.store.get(key)
+            card.corrupt_reads_caught += (
+                result.corrupt_rejected + result.quorum_mismatches
+            )
+            card.quorum_mismatches += result.quorum_mismatches
+            card.machine_checks += result.machine_checks
+            if result.ok:
+                card.reads_ok += 1
+                # Ground truth the store never sees: did the client get
+                # back the bytes it wrote?
+                if result.value != self.truth[key]:
+                    card.durable_escapes += 1
+            else:
+                card.read_failures += 1
+
+    # -- maintenance ---------------------------------------------------
+
+    def _maintenance(self, tick: int) -> None:
+        card = self.scorecard
+        cfg = self.config
+        if (
+            self.scrubber is not None
+            and tick % cfg.scrub_interval == cfg.scrub_interval - 1
+        ):
+            report = self.scrubber.scrub_round()
+            card.scrub_mismatches += report.mismatches
+            card.backfills += report.backfills
+            card.machine_checks += report.machine_checks
+        if (
+            self.antientropy is not None
+            and tick % cfg.antientropy_interval == cfg.antientropy_interval - 1
+        ):
+            report = self.antientropy.sync_round()
+            card.backfills += report.backfills
+        if tick % cfg.compact_interval == cfg.compact_interval - 1:
+            replicas = self.store.replicas
+            replica = replicas[(tick // cfg.compact_interval) % len(replicas)]
+            if replica.available:
+                try:
+                    replica.compact()
+                except (CoreOfflineError, MachineCheckError):
+                    pass
+
+    def _monitor(self, tick: int) -> None:
+        """Ground-truth divergence watcher (repair-latency clock).
+
+        Pure experimenter instrumentation: compares each replica's
+        at-rest bytes against the acked ciphertext without touching any
+        core, so it perturbs nothing the store could observe.  A copy
+        is divergent when its bytes differ from the acked ciphertext
+        *or* when an online replica is missing the key entirely (lost
+        WAL tail, post-crash amnesia, a freshly-placed replacement).
+        """
+        for replica in self.store.replicas:
+            if not replica.available:
+                continue
+            for key, expected in self._truth_payload.items():
+                payload = replica.table.get(key)
+                if payload == expected:
+                    self._divergent_since.pop(
+                        (replica.replica_id, key), None
+                    )
+                    continue
+                self._divergent_since.setdefault(
+                    (replica.replica_id, key), tick
+                )
+
+    # -- detection loop ------------------------------------------------
+
+    def _run_policy(self, tick: int) -> None:
+        new_events = self.events.tail(self._events_seen)
+        self._events_seen = len(self.events)
+        self.analyzer.ingest_all(new_events)
+
+        now_days = (tick * self.config.tick_ms) / MS_PER_DAY
+        for core_id, score in self.analyzer.suspects(
+            now_days, threshold=self.config.policy.retest_threshold
+        ):
+            if (
+                core_id not in self._core_by_id
+                or core_id in self.scorecard.quarantine_tick
+            ):
+                continue
+            decision = self.policy.decide(core_id, score, confessed=False)
+            if decision.action in (
+                Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE
+            ):
+                self._quarantine(core_id, tick)
+                if decision.action is Action.QUARANTINE_MACHINE:
+                    machine_id = self._machine_by_core[core_id]
+                    for sibling_id, owner in self._machine_by_core.items():
+                        if owner == machine_id:
+                            self._quarantine(sibling_id, tick)
+
+        for index, replica in enumerate(self.store.replicas):
+            if replica.core_id in self.scorecard.quarantine_tick:
+                self._replace_replica(index)
+
+    def _quarantine(self, core_id: str, tick: int) -> None:
+        if core_id in self.scorecard.quarantine_tick:
+            return
+        self._core_by_id[core_id].set_online(False)
+        self.scorecard.quarantine_tick[core_id] = tick
+        self._restore_at.pop(core_id, None)
+
+    # -- the main loop -------------------------------------------------
+
+    def run(self) -> StorageScorecard:
+        for tick in range(self.config.ticks):
+            self._tick = tick
+            self._apply_chaos(tick)
+            self._do_writes()
+            self._do_reads()
+            self._maintenance(tick)
+            self._monitor(tick)
+            self._run_policy(tick)
+        self._finalize()
+        return self.scorecard
+
+    def _finalize(self) -> None:
+        card = self.scorecard
+        card.ticks = self.config.ticks
+        card.lasting_divergence = len(self._divergent_since)
+        card.physical_bytes = self._retired_physical_bytes + sum(
+            replica.stats.physical_bytes for replica in self.store.replicas
+        )
+        self._audit_recoverability()
+
+    def _audit_recoverability(self) -> None:
+        """The end-of-campaign oracle: can each acked key be restored?
+
+        A key is *unrecoverable* when no replica holds bytes that
+        decrypt (on the pristine client core) to the value the client
+        wrote — the §5.2 incident, where corruption during encryption
+        is only discovered at decryption time, after every good copy is
+        gone.
+        """
+        card = self.scorecard
+        encrypt = self.protections.store.encrypt
+        for key in self._keys:
+            truth = self.truth[key]
+            recovered = False
+            decrypted_cache: dict[bytes, bytes | None] = {}
+            for replica in self.store.replicas:
+                payload = replica.table.get(key)
+                if payload is None:
+                    continue
+                if not encrypt:
+                    value = payload
+                elif payload in decrypted_cache:
+                    value = decrypted_cache[payload]
+                else:
+                    value = self.store._decrypt(self.client_core, payload)
+                    decrypted_cache[payload] = value
+                if value == truth:
+                    recovered = True
+                    break
+            if not recovered:
+                card.unrecoverable_keys += 1
+
+
+# ---------------------------------------------------------------------
+# fleet construction for storage experiments
+# ---------------------------------------------------------------------
+
+def build_storage_fleet(
+    n_machines: int = 4,
+    cores_per_machine: int = 4,
+    bad_machine: int = 0,
+    bad_core: int = 1,
+    base_rate: float = 0.05,
+    onset_days: float = 0.0,
+    seed: int = 7,
+) -> tuple[list[Machine], str]:
+    """A small fleet with exactly one (possibly late-onset) bad core.
+
+    The bad core carries *two* paper archetypes at once: a stuck bit on
+    the load/store unit (corrupts every byte it moves — WAL appends,
+    memtable installs, compaction rewrites, served reads) and the
+    self-inverting S-box permutation (mis-encrypts when its turn in the
+    coordinator rotation comes up, yet decrypts its own ciphertext
+    perfectly — the §5.2 trap that defeats same-core verification).
+    Returns (machines, bad core id).
+    """
+    product = CpuProduct(
+        vendor="sim", sku=f"storage-{cores_per_machine}c",
+        cores_per_machine=cores_per_machine, core_prevalence=0.0,
+    )
+    root = np.random.default_rng(seed)
+    machines: list[Machine] = []
+    bad_core_id = ""
+    for m in range(n_machines):
+        machine_id = f"m{m:05d}"
+        cores = []
+        for c in range(cores_per_machine):
+            core_id = f"{machine_id}/c{c:02d}"
+            defects = ()
+            if m == bad_machine and c == bad_core:
+                bad_core_id = core_id
+                aging = AgingProfile(onset_days=onset_days)
+                defects = (
+                    StuckBitDefect(
+                        f"defect/{core_id}/stuck",
+                        bit=21,
+                        base_rate=base_rate,
+                        unit=FunctionalUnit.LOAD_STORE,
+                        aging=aging,
+                    ),
+                    SboxPermutationDefect(
+                        f"defect/{core_id}/sbox",
+                        aging=aging,
+                    ),
+                )
+            cores.append(
+                Core(
+                    core_id,
+                    defects=defects,
+                    rng=np.random.default_rng(root.integers(2**63)),
+                )
+            )
+        machines.append(
+            Machine(machine_id=machine_id, product=product, chip=Chip(cores))
+        )
+    return machines, bad_core_id
+
+
+__all__ = [
+    "STORAGE_EVENT_KINDS",
+    "StorageCampaign",
+    "StorageCampaignConfig",
+    "StorageProtections",
+    "StorageScorecard",
+    "build_storage_fleet",
+]

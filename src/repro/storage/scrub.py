@@ -1,0 +1,151 @@
+"""Background scrubber: compare replica checksums, repair the minority.
+
+Scrubbing is the at-rest counterpart of voted reads.  Each round walks
+a window of the key space; every replica computes the checksum of its
+at-rest copy *on its own core* (``StorageReplica.checksum``), and the
+checksums are majority-voted.  The double-edged design is deliberate:
+a defective core implicates itself whether it corrupted the stored
+bytes (checksum of wrong bytes diverges) or miscomputes the checksum
+of good bytes (same divergence, repair is then a harmless rewrite).
+Either way the minority replica's core earns a ``SCRUB_MISMATCH``
+suspicion event and the record is repaired from a frame-CRC-verified
+majority copy — the paper's §6 point that background screening must
+run continuously because defects age in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.events import EventKind
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.storage.replica import StorageReplica
+from repro.storage.store import ReplicatedKVStore
+from repro.storage.wal import host_crc64
+
+
+@dataclasses.dataclass
+class ScrubReport:
+    """What one scrub round observed."""
+
+    keys_scrubbed: int = 0
+    mismatches: int = 0
+    repairs: int = 0
+    backfills: int = 0
+    unresolved: int = 0
+    machine_checks: int = 0
+
+
+class Scrubber:
+    """Rotating-window checksum scrubber over a replicated store.
+
+    Args:
+        store: the store whose replicas are scrubbed; its ``emit`` and
+            ``on_repair`` hooks receive mismatch events and repairs.
+        keys_per_round: scrub window size (bounds per-round core work,
+            like production scrub-rate throttles).
+    """
+
+    def __init__(self, store: ReplicatedKVStore, keys_per_round: int = 16):
+        self.store = store
+        self.keys_per_round = keys_per_round
+        self._cursor = 0
+        self.rounds = 0
+
+    def _key_window(self) -> list[str]:
+        universe = sorted(
+            {key for replica in self.store.replicas for key in replica.table}
+        )
+        if not universe:
+            return []
+        window = [
+            universe[(self._cursor + offset) % len(universe)]
+            for offset in range(min(self.keys_per_round, len(universe)))
+        ]
+        self._cursor = (self._cursor + len(window)) % len(universe)
+        return window
+
+    def _repair_source(
+        self, key: str, holders: list[StorageReplica]
+    ) -> tuple[bytes, int] | None:
+        """A frame-CRC-verified copy from a majority replica.
+
+        The repair read crosses the source replica's core, so the
+        fetched bytes are themselves re-verified against the frame CRC
+        before being trusted as repair material.
+        """
+        for replica in holders:
+            try:
+                response = replica.get(key)
+            except (CoreOfflineError, MachineCheckError):
+                continue
+            if response is None:
+                continue
+            payload, crc = response
+            if host_crc64(payload) == crc:
+                return payload, crc
+        return None
+
+    def scrub_round(self) -> ScrubReport:
+        """Scrub one window of keys across all online replicas."""
+        report = ScrubReport()
+        self.rounds += 1
+        for key in self._key_window():
+            checksums: list[tuple[StorageReplica, int]] = []
+            missing: list[StorageReplica] = []
+            for replica in self.store.replicas:
+                if not replica.available:
+                    continue
+                try:
+                    checksum = replica.checksum(key)
+                except CoreOfflineError:
+                    continue
+                except MachineCheckError:
+                    report.machine_checks += 1
+                    self.store.emit(
+                        replica.core_id, EventKind.MACHINE_CHECK,
+                        "mce during scrub checksum",
+                    )
+                    continue
+                if checksum is None:
+                    missing.append(replica)
+                else:
+                    checksums.append((replica, checksum))
+            if len(checksums) < 2:
+                continue
+            report.keys_scrubbed += 1
+            counts: dict[int, int] = {}
+            for _, checksum in checksums:
+                counts[checksum] = counts.get(checksum, 0) + 1
+            majority_sum, majority_count = max(
+                counts.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            if majority_count <= len(checksums) - majority_count:
+                report.unresolved += 1
+                continue
+            minority = [r for r, c in checksums if c != majority_sum]
+            holders = [r for r, c in checksums if c == majority_sum]
+            if not minority and not missing:
+                continue
+            source = self._repair_source(key, holders)
+            for replica in minority:
+                report.mismatches += 1
+                self.store.emit(
+                    replica.core_id, EventKind.SCRUB_MISMATCH,
+                    "scrub checksum diverged from the replica majority",
+                )
+                if source is not None:
+                    replica.repair(key, source[0], source[1])
+                    self.store.on_repair(replica.replica_id, key)
+                    report.repairs += 1
+                else:
+                    report.unresolved += 1
+            for replica in missing:
+                if source is not None:
+                    replica.repair(key, source[0], source[1])
+                    self.store.on_repair(replica.replica_id, key)
+                    report.backfills += 1
+        return report
+
+
+__all__ = ["ScrubReport", "Scrubber"]

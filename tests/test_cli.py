@@ -1,8 +1,17 @@
 """CLI entry point."""
 
+import json
+
 import pytest
 
+import repro.cli
 from repro.cli import main
+
+
+@pytest.fixture
+def quick_store(monkeypatch):
+    """Shrink the E16 campaign so CLI plumbing tests stay fast."""
+    monkeypatch.setitem(repro.cli._CI_KWARGS, "E16", dict(ticks=120))
 
 
 class TestCli:
@@ -75,3 +84,54 @@ class TestServeCommand:
     def test_serve_accepts_a_seed(self, capsys):
         assert main(["serve", "--seed", "4"]) == 0
         assert "E15" in capsys.readouterr().out
+
+
+class TestStoreCommand:
+    def test_store_runs_the_chaos_campaign(self, capsys, quick_store):
+        assert main(["store"]) == 0
+        out = capsys.readouterr().out
+        assert "E16" in out
+        assert "protected" in out
+
+    def test_store_is_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "E16" in capsys.readouterr().out
+
+
+class TestJsonScorecards:
+    def test_serve_json_is_strict_and_parseable(self, capsys):
+        assert main(["serve", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "E15"
+        assert set(payload["scorecards"]) == {
+            "unhardened", "hardened", "validator_only"
+        }
+        assert "escape_rate" in payload["scorecards"]["hardened"]
+        assert "escape_reduction" in payload["metrics"]
+
+    def test_store_json_is_strict_and_parseable(self, capsys, quick_store):
+        assert main(["store", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "E16"
+        assert set(payload["scorecards"]) == {
+            "unprotected", "quorum_only", "no_encrypt_verify",
+            "generic_weights", "protected",
+        }
+        card = payload["scorecards"]["protected"]
+        for field in (
+            "escape_rate", "unrecoverable_loss_rate",
+            "write_amplification", "quarantine_tick",
+        ):
+            assert field in card
+        # Strict JSON end to end: metrics with non-finite values (an
+        # infinite escape-rate reduction) must arrive as null, and the
+        # whole document must survive a strict re-encode.
+        json.dumps(payload, allow_nan=False)
+        assert "escape_reduction" in payload["metrics"]
+
+    def test_json_seed_is_reproducible(self, capsys, quick_store):
+        assert main(["store", "--json", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["store", "--json", "--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -5,6 +5,11 @@ import numpy as np
 from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
 from repro.detection.sanitizer import SanitizerModel
 from repro.detection.signals import DEFAULT_WEIGHTS, SignalAnalyzer
+from repro.detection.weights import (
+    SUSPICION_WEIGHTS,
+    default_weights,
+    describe_weights,
+)
 
 
 def _event(core, kind=EventKind.CRASH, t=0.0, machine="m0", app="app"):
@@ -66,6 +71,36 @@ class TestSignalAnalyzer:
         analyzer = SignalAnalyzer()
         analyzer.ingest_all([_event("m0/c0"), _event("m0/c0")])
         assert analyzer.tracker.signals("m0/c0") == 2
+
+
+class TestSuspicionWeightTable:
+    def test_every_event_kind_has_an_explicit_weight(self):
+        # The completeness invariant the weights module promises: a new
+        # EventKind without a documented weight is a test failure, not a
+        # silent 1.0 default somewhere in the analyzer.
+        missing = [k for k in EventKind if k not in SUSPICION_WEIGHTS]
+        assert missing == []
+        extra = [k for k in SUSPICION_WEIGHTS if k not in set(EventKind)]
+        assert extra == []
+
+    def test_every_weight_is_positive_and_justified(self):
+        for kind, entry in SUSPICION_WEIGHTS.items():
+            assert entry.weight > 0, kind
+            assert entry.rationale.strip(), kind
+
+    def test_analyzer_defaults_come_from_the_table(self):
+        assert DEFAULT_WEIGHTS == default_weights()
+        assert DEFAULT_WEIGHTS == {
+            kind: entry.weight for kind, entry in SUSPICION_WEIGHTS.items()
+        }
+
+    def test_describe_weights_lists_all_kinds_heaviest_first(self):
+        lines = describe_weights().splitlines()
+        assert len(lines) == len(EventKind)
+        weights = [float(line.split()[1]) for line in lines]
+        assert weights == sorted(weights, reverse=True)
+        for kind in EventKind:
+            assert any(line.startswith(kind.value) for line in lines)
 
 
 class TestSanitizerModel:

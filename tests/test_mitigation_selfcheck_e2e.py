@@ -154,6 +154,52 @@ class TestChecksummedStore:
         with pytest.raises(KeyError):
             ChecksummedStore(healthy_core, reference_core).get("ghost")
 
+    def _always_bad_server(self):
+        # Deterministic: every word moved through this core is corrupted.
+        return Core(
+            "e2e/server",
+            defects=[StuckBitDefect(
+                "d", bit=7, base_rate=1.0, unit=FunctionalUnit.LOAD_STORE
+            )],
+            rng=np.random.default_rng(0),
+        )
+
+    def test_corruption_after_checksum_caught_at_write_verify(
+        self, healthy_core
+    ):
+        # The checksum seals the bytes *before* they cross the server
+        # core, so downstream corruption can never match it.
+        store = ChecksummedStore(healthy_core, self._always_bad_server())
+        with pytest.raises(IntegrityError):
+            store.put("blob", b"\x00" * 64)
+        assert store.stats.write_failures_caught == 1
+        with pytest.raises(KeyError):
+            store.get("blob")                 # corrupt blob was dropped
+
+    def test_corruption_after_checksum_caught_at_read(self, healthy_core):
+        store = ChecksummedStore(
+            healthy_core, self._always_bad_server(), verify_on_write=False
+        )
+        store.put("blob", b"\x00" * 64)       # corrupt bytes stored...
+        with pytest.raises(IntegrityError):   # ...but never served
+            store.get("blob")
+        assert store.stats.read_failures_caught == 1
+
+    def test_corruption_before_checksum_is_sealed_in(
+        self, healthy_core, reference_core
+    ):
+        # The end-to-end check protects everything *downstream* of the
+        # checksum computation.  Bytes corrupted upstream — before the
+        # client sealed them — verify perfectly: the checksum faithfully
+        # covers garbage.  This ordering blindness is why the storage
+        # stack also votes across replicas.
+        store = ChecksummedStore(healthy_core, reference_core)
+        corrupted_upstream = b"\xff" + b"\x00" * 63
+        store.put("blob", corrupted_upstream)
+        assert store.get("blob") == corrupted_upstream   # no error raised
+        assert store.stats.write_failures_caught == 0
+        assert store.stats.read_failures_caught == 0
+
 
 class TestReplicatedStateMachine:
     def _update(self, key, delta):

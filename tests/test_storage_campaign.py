@@ -1,0 +1,150 @@
+"""Storage campaign behaviour: chaos script, protection stacks, determinism."""
+
+import json
+
+from repro.chaos import ChaosKind, ChaosSchedule
+from repro.core.events import EventKind
+from repro.storage import (
+    StorageCampaign,
+    StorageCampaignConfig,
+    StorageProtections,
+    build_storage_fleet,
+)
+from repro.storage.campaign import STORAGE_EVENT_KINDS
+
+TICKS = 200
+ONSET_AGE_DAYS = 400.0
+
+
+def _campaign(protections, ticks=TICKS, seed=3):
+    machines, bad_core_id = build_storage_fleet(
+        onset_days=ONSET_AGE_DAYS, seed=7
+    )
+    campaign = StorageCampaign(
+        machines, protections, StorageCampaignConfig(ticks=ticks), seed=seed
+    )
+    victim = next(
+        replica.core_id for replica in campaign.store.replicas
+        if replica.core_id != bad_core_id
+    )
+    campaign.chaos = ChaosSchedule.storage_standard(
+        bad_core_id, victim, ticks, onset_age_days=ONSET_AGE_DAYS
+    )
+    return campaign, bad_core_id
+
+
+class TestStorageChaosSchedule:
+    def test_storage_standard_covers_the_scripted_faults(self):
+        schedule = ChaosSchedule.storage_standard("bad", "victim", 600)
+        kinds = [action.kind for action in schedule.actions]
+        assert kinds.count(ChaosKind.CRASH_CORE) == 2
+        assert ChaosKind.ACTIVATE_DEFECT in kinds
+        assert ChaosKind.MACHINE_CHECK_BURST in kinds
+        assert ChaosKind.TRAFFIC_BURST in kinds
+        ticks = [action.at_tick for action in schedule.actions]
+        assert ticks == sorted(ticks)
+        assert all(action.at_tick < 600 for action in schedule.actions)
+
+    def test_serving_shim_still_exports_the_shared_chaos(self):
+        from repro.serving.chaos import ChaosSchedule as ShimSchedule
+
+        assert ShimSchedule is ChaosSchedule
+
+
+class TestStorageCampaign:
+    def test_protected_store_beats_the_trusting_baseline(self):
+        naive, bad_core_id = _campaign(StorageProtections.unprotected())
+        protected, _ = _campaign(StorageProtections.protected())
+        naive_card = naive.run()
+        protected_card = protected.run()
+
+        # The baseline serves corrupt bytes and permanently loses keys;
+        # the full stack does neither.
+        assert naive_card.escape_rate > 0.0
+        assert naive_card.unrecoverable_keys > 0
+        assert protected_card.escape_rate == 0.0
+        assert protected_card.unrecoverable_keys == 0
+        assert protected_card.read_availability >= naive_card.read_availability
+
+        # Storage integrity signals exist, are attributed to the bad
+        # core, and drive its quarantine; the baseline has no integrity
+        # signal at all, so it never fingers the defective core.
+        storage_events = [
+            e for e in protected.events if e.kind in STORAGE_EVENT_KINDS
+        ]
+        assert storage_events
+        assert any(e.core_id == bad_core_id for e in storage_events)
+        assert bad_core_id in protected_card.quarantine_tick
+        assert bad_core_id not in naive_card.quarantine_tick
+        assert not any(
+            e.kind in STORAGE_EVENT_KINDS for e in naive.events
+        )
+
+    def test_verify_after_encrypt_gates_the_unrecoverable_incident(self):
+        # Drop only the §5.2 defence: mis-encrypted records replicate
+        # cleanly (every replica holds the same wrong ciphertext, so
+        # quorums agree) and some keys become unrecoverable.
+        no_verify, _ = _campaign(StorageProtections.no_encrypt_verify())
+        card = no_verify.run()
+        assert card.unrecoverable_keys > 0
+
+    def test_quarantine_replacement_keeps_the_store_replicated(self):
+        protected, bad_core_id = _campaign(StorageProtections.protected())
+        card = protected.run()
+        assert bad_core_id in card.quarantine_tick
+        replica_cores = {r.core_id for r in protected.store.replicas}
+        assert bad_core_id not in replica_cores
+        assert len(replica_cores) == 3
+        # The replacement replica started empty and was backfilled.
+        assert card.backfills > 0
+
+    def test_fixed_seed_reproduces_byte_identical_results(self):
+        first, _ = _campaign(StorageProtections.protected(), ticks=150)
+        second, _ = _campaign(StorageProtections.protected(), ticks=150)
+        card_a = first.run()
+        card_b = second.run()
+        json_a = json.dumps(card_a.to_json(), sort_keys=True)
+        json_b = json.dumps(card_b.to_json(), sort_keys=True)
+        assert json_a == json_b
+        events_a = [
+            (e.time_days, e.core_id, e.kind, e.detail) for e in first.events
+        ]
+        events_b = [
+            (e.time_days, e.core_id, e.kind, e.detail) for e in second.events
+        ]
+        assert events_a == events_b
+
+    def test_scorecard_json_is_strict_and_complete(self):
+        protected, _ = _campaign(StorageProtections.protected(), ticks=150)
+        payload = protected.run().to_json()
+        parsed = json.loads(json.dumps(payload, allow_nan=False))
+        for field in (
+            "escape_rate", "unrecoverable_loss_rate", "read_availability",
+            "write_amplification", "mean_repair_latency_ms",
+            "wal_corrupt_records", "quarantine_tick",
+        ):
+            assert field in parsed
+
+    def test_generic_weights_never_beat_dedicated_ones(self):
+        dedicated, bad_core_id = _campaign(StorageProtections.protected())
+        generic, _ = _campaign(StorageProtections.generic_weights())
+        card_d = dedicated.run()
+        card_g = generic.run()
+        assert bad_core_id in card_d.quarantine_tick
+        assert bad_core_id in card_g.quarantine_tick
+        assert (
+            card_d.quarantine_tick[bad_core_id]
+            <= card_g.quarantine_tick[bad_core_id]
+        )
+
+    def test_machine_check_burst_alone_cannot_frame_a_healthy_core(self):
+        # In the baseline the only signal is the chaos MCE burst on the
+        # innocent victim: whatever the policy does with it, the actual
+        # corruptor is never the one quarantined.
+        naive, bad_core_id = _campaign(StorageProtections.unprotected())
+        card = naive.run()
+        assert bad_core_id not in card.quarantine_tick
+        burst_mces = [
+            e for e in naive.events if e.kind is EventKind.MACHINE_CHECK
+        ]
+        assert burst_mces
