@@ -8,6 +8,7 @@ the corpus and catches the core deterministically.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.detection.characterize import characterize, synthesize_regression_test
 from repro.detection.corpus import TestCorpus
@@ -16,7 +17,7 @@ from repro.silicon.defects import OperandPatternDefect
 from repro.silicon.units import Op
 
 
-def run_characterizer(seed=0):
+def run_characterizer(seed=0, probes_per_op=800):
     zero_day = Core(
         "a10/zero-day",
         defects=[OperandPatternDefect(
@@ -28,7 +29,7 @@ def run_characterizer(seed=0):
     corpus = TestCorpus.standard(seeds=(1,))
     generic_catches = corpus.screen(zero_day, repetitions=2).confessed
 
-    profile = characterize(zero_day, probes_per_op=800)
+    profile = characterize(zero_day, probes_per_op=probes_per_op)
     test = synthesize_regression_test(profile)
     targeted_catches = test is not None and not test.run(zero_day)
     healthy_passes = test is not None and test.run(
@@ -61,7 +62,8 @@ def run_characterizer(seed=0):
 
 def test_a10_characterizer(benchmark, show):
     result, rendered = benchmark.pedantic(
-        run_characterizer, rounds=1, iterations=1
+        run_characterizer, kwargs=dict(probes_per_op=scaled(500, 800)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     assert not result["generic_catches"]          # the zero-day gap

@@ -10,6 +10,7 @@ import dataclasses
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.core.confidence import SuspicionTracker
 from repro.core.events import EventKind
@@ -68,8 +69,8 @@ def _evaluate(threshold: float, events, bad):
     return precision, recall, latency, fp
 
 
-def run_threshold_ablation(seed=0):
-    events, bad = _synthetic_history(seed)
+def run_threshold_ablation(seed=0, n_cores=400):
+    events, bad = _synthetic_history(seed, n_cores=n_cores)
     rows = []
     results = {}
     for threshold in (2.0, 4.0, 6.0, 10.0, 16.0):
@@ -89,7 +90,8 @@ def run_threshold_ablation(seed=0):
 
 def test_a1_policy_thresholds(benchmark, show):
     results, rendered = benchmark.pedantic(
-        run_threshold_ablation, rounds=1, iterations=1
+        run_threshold_ablation, kwargs=dict(n_cores=scaled(150, 400)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     strict = results[16.0]

@@ -8,6 +8,7 @@ bill.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.economics import ScreeningPolicy
 from repro.analysis.figures import render_table
 from repro.silicon.catalog import sample_defect
@@ -49,7 +50,8 @@ def run_duty_cycle_ablation(seed=0, n_defects=150):
 
 def test_a2_duty_cycle(benchmark, show):
     results, rendered = benchmark.pedantic(
-        run_duty_cycle_ablation, rounds=1, iterations=1
+        run_duty_cycle_ablation, kwargs=dict(n_defects=scaled(50, 150)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     duties = sorted(results)

@@ -7,6 +7,7 @@ comparisons execute on a defective core.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.mitigation.redundancy import RedundancyExhaustedError, TmrExecutor
 from repro.silicon.core import Core
@@ -54,7 +55,8 @@ def run_voter_ablation(seed=0, n_units=60):
 
 def test_a3_voter_reliability(benchmark, show):
     outcomes, rendered = benchmark.pedantic(
-        run_voter_ablation, rounds=1, iterations=1
+        run_voter_ablation, kwargs=dict(n_units=scaled(20, 60)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     host_anomalies, host_failures = outcomes["host voter"]

@@ -8,6 +8,7 @@ ones).  We sweep granule size against a fixed defective pool.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.mitigation.checkpoint import CheckpointRuntime
 from repro.silicon.core import Core
@@ -39,7 +40,7 @@ def run_granule_ablation(seed=0, n_items=192):
     items = list(range(1, n_items + 1))
     rows = []
     overheads = {}
-    for granule in (4, 16, 64, 192):
+    for granule in (4, 16, 64, n_items):
         runtime = CheckpointRuntime(
             _pool(seed), step=_step, check=_check,
             granule=granule, checkpoint_cost_items=2.0,
@@ -65,7 +66,8 @@ def run_granule_ablation(seed=0, n_items=192):
 
 def test_a4_granule_size(benchmark, show):
     overheads, rendered = benchmark.pedantic(
-        run_granule_ablation, rounds=1, iterations=1
+        run_granule_ablation, kwargs=dict(n_items=scaled(96, 192)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     # The sweep must exhibit the tradeoff's two ends: the best granule

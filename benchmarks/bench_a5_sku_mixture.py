@@ -5,6 +5,7 @@ only-old vs only-new SKUs vs the default mixture; incidence should
 track the §5 scaling argument (newer, denser nodes fail more).
 """
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.fleet.population import FleetBuilder
 from repro.fleet.product import DEFAULT_PRODUCTS
@@ -32,7 +33,8 @@ def run_sku_ablation(n_machines=6000, seed=5):
 
 def test_a5_sku_mixture(benchmark, show):
     rates, rendered = benchmark.pedantic(
-        run_sku_ablation, rounds=1, iterations=1
+        run_sku_ablation, kwargs=dict(n_machines=scaled(2000, 6000)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     assert rates["newest SKU only"] > rates["oldest SKU only"]

@@ -9,6 +9,7 @@ resilient sort with cross-core verification.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.mitigation.resilient.sorting import verify_sorted
 from repro.silicon.core import Core
@@ -68,7 +69,8 @@ def run_susceptibility(n_sites=120, seed=3):
 
 def test_a6_injection_susceptibility(benchmark, show):
     sdc, rendered = benchmark.pedantic(
-        run_susceptibility, rounds=1, iterations=1
+        run_susceptibility, kwargs=dict(n_sites=scaled(40, 120)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     assert sdc["unchecked"] > 0

@@ -7,6 +7,7 @@ computations."  Cost/protection frontier: unprotected vs selective
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.mitigation.selective import (
     SelectiveReplicator,
@@ -54,8 +55,8 @@ def _pool(seed=0):
     return pool
 
 
-def run_selective_ablation(seed=0):
-    stages = _stages()
+def run_selective_ablation(seed=0, n_stages=24):
+    stages = _stages(n=n_stages)
     reference = [
         stage.work(Core("a7/ref", rng=np.random.default_rng(77)))
         for stage in stages
@@ -95,13 +96,17 @@ def run_selective_ablation(seed=0):
     }, render_table(
         ["strategy", "wrong stages", "wrong CRITICAL stages", "cost"],
         rows,
-        title="A7: selective replication (4 of 24 stages critical)",
+        title=(
+            f"A7: selective replication "
+            f"({len(critical_indices)} of {n_stages} stages critical)"
+        ),
     )
 
 
 def test_a7_selective_replication(benchmark, show):
     result, rendered = benchmark.pedantic(
-        run_selective_ablation, rounds=1, iterations=1
+        run_selective_ablation, kwargs=dict(n_stages=scaled(12, 24)),
+        rounds=1, iterations=1,
     )
     show(rendered)
     assert result["selective_critical_wrong"] == 0  # the §9 promise

@@ -8,6 +8,7 @@ identifies it.
 
 import numpy as np
 
+from benchmarks.conftest import scaled
 from repro.analysis.figures import render_table
 from repro.mitigation.bft import QuorumReplicatedService
 from repro.silicon.core import Core
@@ -63,7 +64,10 @@ def run_bft(seed=0, n_commands=40):
 
 
 def test_a8_bft_quorum(benchmark, show):
-    result, rendered = benchmark.pedantic(run_bft, rounds=1, iterations=1)
+    result, rendered = benchmark.pedantic(
+        run_bft, kwargs=dict(n_commands=scaled(16, 40)),
+        rounds=1, iterations=1,
+    )
     show(rendered)
     assert result["wrong_commits"] == 0     # safety holds
     assert result["cost"] == 4.0            # the §8 price

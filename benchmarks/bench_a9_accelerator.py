@@ -82,8 +82,11 @@ def run_accelerator_study(seed=0, n_tiles=12):
 
 
 def test_a9_accelerator(benchmark, show):
+    # n_tiles stays fixed: the ABFT silent-wrong assertion is sensitive
+    # to the defect rng stream, and 12 tiles is already smoke-test sized.
     result, rendered = benchmark.pedantic(
-        run_accelerator_study, rounds=1, iterations=1
+        run_accelerator_study, kwargs=dict(n_tiles=12),
+        rounds=1, iterations=1,
     )
     show(rendered)
     assert result["signature_classes"] == {5}   # structured, not random

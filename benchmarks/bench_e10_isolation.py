@@ -1,11 +1,13 @@
 """E10 — core vs machine quarantine, and §6.1 safe-task placement."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_isolation
 
 
 def test_e10_isolation(benchmark, show):
     result = benchmark.pedantic(
-        run_isolation, kwargs=dict(n_machines=40), rounds=1, iterations=1
+        run_isolation, kwargs=dict(n_machines=scaled(20, 40)),
+        rounds=1, iterations=1,
     )
     show(result["rendered"])
     assert result["core_stranded"] < result["machine_stranded"] / 5

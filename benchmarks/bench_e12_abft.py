@@ -1,11 +1,13 @@
 """E12 — SDC-resilient algorithms [11, 27]: ABFT matmul, LU, sorting."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_abft
 
 
 def test_e12_abft(benchmark, show):
     result = benchmark.pedantic(
-        run_abft, kwargs=dict(n_trials=8), rounds=1, iterations=1
+        run_abft, kwargs=dict(n_trials=scaled(6, 8)),
+        rounds=1, iterations=1,
     )
     show(result["rendered"])
     assert result["vanilla_wrong"] > 0

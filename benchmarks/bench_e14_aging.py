@@ -1,11 +1,13 @@
 """E14 — aging: onset distribution, escalation, §4's age-until-onset."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_aging
 
 
 def test_e14_aging(benchmark, show):
     result = benchmark.pedantic(
-        run_aging, kwargs=dict(n_defects=3000), rounds=1, iterations=1
+        run_aging, kwargs=dict(n_defects=scaled(1000, 3000)),
+        rounds=1, iterations=1,
     )
     show(result["rendered"])
     assert 0.4 <= result["model_cdf_365"] <= 0.6

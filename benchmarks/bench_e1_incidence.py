@@ -1,12 +1,12 @@
 """E1 — incidence: 'a few mercurial cores per several thousand machines'."""
 
-from benchmarks.conftest import is_ci_scale
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_incidence
 
 
 def test_e1_incidence(benchmark, show):
-    n_machines = 3000 if is_ci_scale() else 12000
-    horizon = 120.0 if is_ci_scale() else 270.0
+    n_machines = scaled(3000, 12000)
+    horizon = scaled(120.0, 270.0)
     result = benchmark.pedantic(
         run_incidence,
         kwargs=dict(n_machines=n_machines, horizon_days=horizon),

@@ -1,10 +1,14 @@
 """E4 — corruption propagation: bit flips, DB replicas, GC data loss."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_propagation
 
 
 def test_e4_propagation(benchmark, show):
-    result = benchmark.pedantic(run_propagation, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_propagation, kwargs=dict(n_strings=scaled(120, 300)),
+        rounds=1, iterations=1,
+    )
     show(result["rendered"])
     assert len(result["flip_positions"]) == 1  # a *particular* bit position
     errors = result["replica_errors"]

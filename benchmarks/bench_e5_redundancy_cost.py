@@ -1,10 +1,14 @@
 """E5 — §3's 'factor of two of extra work ... triple work' measured."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_redundancy_cost
 
 
 def test_e5_redundancy_cost(benchmark, show):
-    result = benchmark.pedantic(run_redundancy_cost, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_redundancy_cost, kwargs=dict(n_units=scaled(4, 6)),
+        rounds=1, iterations=1,
+    )
     show(result["rendered"])
     assert 1.9 <= result["dmr_factor"] <= 2.1
     assert 2.9 <= result["tmr_factor"] <= 3.1

@@ -1,11 +1,12 @@
 """E9 — offline vs online screening tradeoff (§6)."""
 
+from benchmarks.conftest import scaled
 from repro.analysis.experiments import run_screening_tradeoff
 
 
 def test_e9_screening_tradeoff(benchmark, show):
     result = benchmark.pedantic(
-        run_screening_tradeoff, kwargs=dict(n_rates=120),
+        run_screening_tradeoff, kwargs=dict(n_rates=scaled(40, 120)),
         rounds=1, iterations=1,
     )
     show(result["rendered"])

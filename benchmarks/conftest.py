@@ -19,6 +19,16 @@ def is_ci_scale() -> bool:
     return SCALE == "ci"
 
 
+def scaled(ci_value, full_value):
+    """Pick a problem size by ``REPRO_SCALE`` — the one uniform hook.
+
+    Every benchmark that takes a size parameter routes it through this
+    helper, so ``REPRO_SCALE=ci`` shrinks the whole suite consistently
+    instead of each file re-reading the environment its own way.
+    """
+    return ci_value if is_ci_scale() else full_value
+
+
 @pytest.fixture
 def show():
     """Print a rendered experiment block under pytest's capture."""

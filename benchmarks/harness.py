@@ -1,0 +1,59 @@
+"""Scorecard harness — thin runnable front-end over ``repro.engine.bench``.
+
+Emits ``BENCH_<ID>.json`` scorecards for the registered macro-benchmarks
+(build, e1, e15, e16).  The scale defaults to whatever ``REPRO_SCALE``
+says, so CI can run ``REPRO_SCALE=ci python benchmarks/harness.py``
+while local perf runs get the full default sizes.
+
+Equivalent CLI: ``python -m repro bench [ids...] --scale ... --workers N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+try:
+    from benchmarks.conftest import is_ci_scale
+except ModuleNotFoundError:
+    # Running as a script (`python benchmarks/harness.py`) puts the
+    # benchmarks/ directory itself on sys.path, not the repo root.
+    from conftest import is_ci_scale
+from repro.engine.bench import (  # noqa: F401  (re-exported for callers)
+    BENCHMARKS,
+    BenchScorecard,
+    run_benchmark,
+    write_scorecard,
+)
+
+
+def current_scale() -> str:
+    """Map REPRO_SCALE onto the bench scale tags ('ci' or 'default')."""
+    return "ci" if is_ci_scale() else "default"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "benchmarks", nargs="*", metavar="ID",
+        help=f"benchmark ids (default: all of {', '.join(BENCHMARKS)})",
+    )
+    parser.add_argument("--scale", choices=("default", "ci"), default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args(argv)
+
+    scale = args.scale or current_scale()
+    ids = [b.lower() for b in args.benchmarks] or list(BENCHMARKS)
+    unknown = [b for b in ids if b not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+    for bench_id in ids:
+        card = run_benchmark(bench_id, scale=scale, workers=args.workers)
+        path = write_scorecard(card, args.out_dir)
+        print(f"{card.summary()} -> {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

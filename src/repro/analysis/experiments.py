@@ -13,6 +13,7 @@ for CI; benchmarks pass larger values.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Callable
 
@@ -34,6 +35,7 @@ from repro.detection.corpus import TestCorpus
 from repro.detection.offline import OfflineScreener, OfflineScreenerConfig
 from repro.detection.online import OnlineScreener
 from repro.detection.quarantine import CoreQuarantine, MachineQuarantine
+from repro.engine import Trial, run_tasks, run_trials
 from repro.fleet.population import FleetBuilder, ground_truth_map
 from repro.fleet.product import DEFAULT_PRODUCTS
 from repro.fleet.scheduler import FleetScheduler, Task
@@ -157,43 +159,109 @@ def run_fig1(
 # E1 — incidence: a few mercurial cores per several thousand machines
 # ---------------------------------------------------------------------
 
-def run_incidence(
-    n_machines: int = 12000, seed: int = 7, horizon_days: float = 270.0
+def _incidence_trial(
+    trial: Trial, *, n_machines: int, horizon_days: float,
+    legacy: bool = False,
 ) -> dict:
-    """E1: ground-truth and detected incidence per 1000 machines."""
-    builder = FleetBuilder(seed=seed, deployment_window=(-900.0, 0.0))
-    machines, truth = builder.build(n_machines)
+    """One seeded E1 campaign; module-level so the pool can pickle it.
+
+    ``legacy=True`` runs the identical trial on the preserved serial
+    paths (loop builder, scalar tick) — the bench harness's baseline.
+    """
+    builder = FleetBuilder(seed=trial.seed, deployment_window=(-900.0, 0.0))
+    build = builder.build_legacy if legacy else builder.build
+    machines, truth = build(n_machines)
     simulator = FleetSimulator(
         machines, truth,
-        SimulatorConfig(horizon_days=horizon_days, warmup_days=0.0),
-        seed=seed + 1,
+        SimulatorConfig(
+            horizon_days=horizon_days, warmup_days=0.0,
+            vectorized=not legacy,
+        ),
+        seed=trial.seed + 1,
     )
     result = simulator.run()
-    truth_map = ground_truth_map(machines)
-    detection = confusion(truth_map, result.flagged())
-    truth_rate = incidence_per_kmachine(truth.n_mercurial, n_machines)
-    detected_rate = incidence_per_kmachine(
-        detection.true_positives, n_machines
+    detection = confusion(ground_truth_map(machines), result.flagged())
+    return {
+        "trial": trial.index,
+        "seed": trial.seed,
+        "n_mercurial": truth.n_mercurial,
+        "true_positives": detection.true_positives,
+        "false_positives": detection.false_positives,
+        "false_negatives": detection.false_negatives,
+        "truth_per_kmachine": incidence_per_kmachine(
+            truth.n_mercurial, n_machines
+        ),
+        "detected_per_kmachine": incidence_per_kmachine(
+            detection.true_positives, n_machines
+        ),
+        "precision": detection.precision,
+        "recall": detection.recall,
+    }
+
+
+def run_incidence(
+    n_machines: int = 12000,
+    seed: int = 7,
+    horizon_days: float = 270.0,
+    n_trials: int = 1,
+    workers: int | None = None,
+) -> dict:
+    """E1: ground-truth and detected incidence per 1000 machines.
+
+    With ``n_trials == 1`` (the default) this is the single campaign it
+    always was, seeded directly from ``seed``.  With more trials, the
+    engine fans seeded campaigns out over ``workers`` processes and the
+    headline numbers become trial means (precision/recall pooled over
+    the summed confusion counts).  Results are identical for any
+    ``workers`` value.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    trial_fn = functools.partial(
+        _incidence_trial, n_machines=n_machines, horizon_days=horizon_days
     )
-    estimate = poisson_rate_ci(truth.n_mercurial, n_machines / 1000.0)
+    if n_trials == 1:
+        per_trial = [trial_fn(Trial(0, seed))]
+    else:
+        per_trial = run_trials(
+            trial_fn, n_trials, seed=seed, workers=workers
+        )
+    truth_rate = float(
+        np.mean([t["truth_per_kmachine"] for t in per_trial])
+    )
+    detected_rate = float(
+        np.mean([t["detected_per_kmachine"] for t in per_trial])
+    )
+    tp = sum(t["true_positives"] for t in per_trial)
+    fp = sum(t["false_positives"] for t in per_trial)
+    fn = sum(t["false_negatives"] for t in per_trial)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    total_mercurial = sum(t["n_mercurial"] for t in per_trial)
+    estimate = poisson_rate_ci(
+        total_mercurial, n_trials * n_machines / 1000.0
+    )
     rendered = render_table(
         ["quantity", "value"],
         [
             ["machines", n_machines],
-            ["mercurial cores (truth)", truth.n_mercurial],
+            ["trials", n_trials],
+            ["mercurial cores (truth)", total_mercurial],
             ["per 1000 machines (truth)", f"{truth_rate:.2f}"],
             ["95% CI", f"[{estimate.lower:.2f}, {estimate.upper:.2f}]"],
             ["per 1000 machines (detected)", f"{detected_rate:.2f}"],
-            ["detector precision", f"{detection.precision:.2f}"],
-            ["detector recall", f"{detection.recall:.2f}"],
+            ["detector precision", f"{precision:.2f}"],
+            ["detector recall", f"{recall:.2f}"],
         ],
         title="E1: mercurial-core incidence",
     )
     return {
         "truth_per_kmachine": truth_rate,
         "detected_per_kmachine": detected_rate,
-        "precision": detection.precision,
-        "recall": detection.recall,
+        "precision": precision,
+        "recall": recall,
+        "n_trials": n_trials,
+        "per_trial": per_trial,
         "rendered": rendered,
     }
 
@@ -990,12 +1058,54 @@ def run_aging(seed: int = 47, n_defects: int = 3000) -> dict:
 # E15 — serving under CEE: chaos campaign, hardened vs unhardened
 # ---------------------------------------------------------------------
 
+def _serving_campaign(
+    hardening_name: str,
+    *,
+    ticks: int,
+    n_machines: int,
+    cores_per_machine: int,
+    defect_rate: float,
+    seed: int,
+    onset_age: float,
+) -> tuple:
+    """Run one E15 hardening arm; module-level so the pool can pickle it.
+
+    Returns ``(scorecard, events, bad_core_id)`` — the campaign object
+    itself stays in the worker.
+    """
+    machines, bad_core_id = build_serving_fleet(
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        base_rate=defect_rate,
+        onset_days=onset_age,
+        seed=seed + 7,
+    )
+    campaign = ServingCampaign(
+        machines,
+        CampaignConfig(ticks=ticks),
+        getattr(HardeningConfig, hardening_name)(),
+        seed=seed + 3,
+    )
+    # The chaos victim must be a core that actually hosts a replica
+    # (placement is deterministic, but don't hard-code it here).
+    victim = next(
+        r.core_id for r in campaign.router.replicas
+        if r.core_id != bad_core_id
+    )
+    campaign.chaos = ChaosSchedule.standard(
+        bad_core_id, victim, ticks, onset_age_days=onset_age
+    )
+    campaign.run()
+    return campaign.scorecard, list(campaign.events), bad_core_id
+
+
 def run_serving_under_cee(
     ticks: int = 1000,
     n_machines: int = 4,
     cores_per_machine: int = 4,
     defect_rate: float = 0.05,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict:
     """E15: a CEE-hardened RPC service vs a naive one, under chaos.
 
@@ -1015,40 +1125,26 @@ def run_serving_under_cee(
     core earlier than validation signals alone.
     """
     onset_age = 400.0
-
-    def one(hardening: HardeningConfig) -> tuple[ServingCampaign, str]:
-        machines, bad_core_id = build_serving_fleet(
-            n_machines=n_machines,
-            cores_per_machine=cores_per_machine,
-            base_rate=defect_rate,
-            onset_days=onset_age,
-            seed=seed + 7,
-        )
-        campaign = ServingCampaign(
-            machines,
-            CampaignConfig(ticks=ticks),
-            hardening,
-            seed=seed + 3,
-        )
-        # The chaos victim must be a core that actually hosts a replica
-        # (placement is deterministic, but don't hard-code it here).
-        victim = next(
-            r.core_id for r in campaign.router.replicas
-            if r.core_id != bad_core_id
-        )
-        campaign.chaos = ChaosSchedule.standard(
-            bad_core_id, victim, ticks, onset_age_days=onset_age
-        )
-        campaign.run()
-        return campaign, bad_core_id
-
-    unhardened, bad_core_id = one(HardeningConfig.unhardened())
-    hardened, _ = one(HardeningConfig.hardened())
-    validator_only, _ = one(HardeningConfig.validator_only())
-    cards = [c.scorecard for c in (unhardened, hardened, validator_only)]
+    campaign_fn = functools.partial(
+        _serving_campaign,
+        ticks=ticks,
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        defect_rate=defect_rate,
+        seed=seed,
+        onset_age=onset_age,
+    )
+    arms = run_tasks(
+        campaign_fn,
+        ("unhardened", "hardened", "validator_only"),
+        workers=workers,
+    )
+    cards = [card for card, _events, _bad in arms]
+    hardened_events = arms[1][1]
+    bad_core_id = arms[0][2]
 
     trip_events = [
-        e for e in hardened.events if e.kind is EventKind.BREAKER_TRIP
+        e for e in hardened_events if e.kind is EventKind.BREAKER_TRIP
     ]
     escape_reduction = (
         math.inf if cards[1].escape_rate == 0.0
@@ -1059,8 +1155,8 @@ def run_serving_under_cee(
         max(cards[0].throughput_per_tick, 1e-9)
         / max(cards[1].goodput_per_tick, 1e-9)
     )
-    q_breaker = hardened.scorecard.quarantine_tick.get(bad_core_id)
-    q_validator = validator_only.scorecard.quarantine_tick.get(bad_core_id)
+    q_breaker = cards[1].quarantine_tick.get(bad_core_id)
+    q_validator = cards[2].quarantine_tick.get(bad_core_id)
 
     rendered = render_table(
         ["config", "escape", "avail", "p99 ms", "goodput/tick",
@@ -1088,7 +1184,7 @@ def run_serving_under_cee(
         "breaker_trip_events": len(trip_events),
         "quarantine_tick_breaker": q_breaker,
         "quarantine_tick_validator_only": q_validator,
-        "hardened_events": hardened.events,
+        "hardened_events": hardened_events,
         "rendered": rendered,
     }
 
@@ -1097,12 +1193,53 @@ def run_serving_under_cee(
 # E16 — replicated storage under CEE: the durable-path chaos campaign
 # ---------------------------------------------------------------------
 
+def _storage_campaign(
+    protections_name: str,
+    *,
+    ticks: int,
+    n_machines: int,
+    cores_per_machine: int,
+    defect_rate: float,
+    seed: int,
+    onset_age: float,
+) -> tuple:
+    """Run one E16 protection arm; module-level so the pool can pickle it.
+
+    Returns ``(scorecard, events, bad_core_id)``.
+    """
+    machines, bad_core_id = build_storage_fleet(
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        base_rate=defect_rate,
+        onset_days=onset_age,
+        seed=seed + 7,
+    )
+    campaign = StorageCampaign(
+        machines,
+        getattr(StorageProtections, protections_name)(),
+        StorageCampaignConfig(ticks=ticks),
+        seed=seed + 3,
+    )
+    # The chaos victim must be a core that actually hosts a replica
+    # (placement is deterministic, but don't hard-code it here).
+    victim = next(
+        r.core_id for r in campaign.store.replicas
+        if r.core_id != bad_core_id
+    )
+    campaign.chaos = ChaosSchedule.storage_standard(
+        bad_core_id, victim, ticks, onset_age_days=onset_age
+    )
+    campaign.run()
+    return campaign.scorecard, list(campaign.events), bad_core_id
+
+
 def run_storage_under_cee(
     ticks: int = 600,
     n_machines: int = 4,
     cores_per_machine: int = 4,
     defect_rate: float = 0.05,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict:
     """E16: corruption-tolerant replicated storage vs a trusting one.
 
@@ -1134,40 +1271,26 @@ def run_storage_under_cee(
     core (or nobody) while the silent corruptor keeps serving.
     """
     onset_age = 400.0
-
-    def one(protections: StorageProtections) -> tuple[StorageCampaign, str]:
-        machines, bad_core_id = build_storage_fleet(
-            n_machines=n_machines,
-            cores_per_machine=cores_per_machine,
-            base_rate=defect_rate,
-            onset_days=onset_age,
-            seed=seed + 7,
-        )
-        campaign = StorageCampaign(
-            machines,
-            protections,
-            StorageCampaignConfig(ticks=ticks),
-            seed=seed + 3,
-        )
-        # The chaos victim must be a core that actually hosts a replica
-        # (placement is deterministic, but don't hard-code it here).
-        victim = next(
-            r.core_id for r in campaign.store.replicas
-            if r.core_id != bad_core_id
-        )
-        campaign.chaos = ChaosSchedule.storage_standard(
-            bad_core_id, victim, ticks, onset_age_days=onset_age
-        )
-        campaign.run()
-        return campaign, bad_core_id
-
-    unprotected, bad_core_id = one(StorageProtections.unprotected())
-    quorum_only, _ = one(StorageProtections.quorum_only())
-    no_verify, _ = one(StorageProtections.no_encrypt_verify())
-    generic, _ = one(StorageProtections.generic_weights())
-    protected, _ = one(StorageProtections.protected())
-    campaigns = (unprotected, quorum_only, no_verify, generic, protected)
-    cards = [c.scorecard for c in campaigns]
+    campaign_fn = functools.partial(
+        _storage_campaign,
+        ticks=ticks,
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        defect_rate=defect_rate,
+        seed=seed,
+        onset_age=onset_age,
+    )
+    arms = run_tasks(
+        campaign_fn,
+        (
+            "unprotected", "quorum_only", "no_encrypt_verify",
+            "generic_weights", "protected",
+        ),
+        workers=workers,
+    )
+    cards = [card for card, _events, _bad in arms]
+    protected_events = arms[4][1]
+    bad_core_id = arms[0][2]
 
     base, full = cards[0], cards[4]
     escape_reduction = (
@@ -1219,7 +1342,7 @@ def run_storage_under_cee(
         "write_amp_cost": amp_cost,
         "quarantine_tick_dedicated": q_dedicated,
         "quarantine_tick_generic": q_generic,
-        "protected_events": protected.events,
+        "protected_events": protected_events,
         "rendered": rendered,
     }
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro store                 # the E16 storage campaign, CI scale
     python -m repro store --json          # machine-readable durability scorecards
     python -m repro cases                 # the §2 named defect case studies
+    python -m repro bench --scale ci      # perf scorecards -> BENCH_<ID>.json
+    python -m repro run E1 --trials 8 --workers 4   # parallel Monte-Carlo
 """
 
 from __future__ import annotations
@@ -62,25 +64,40 @@ _CAMPAIGN_JSON_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
 
 
 def _runner_kwargs(experiment_id: str, scale: str, seed: int | None,
-                   runner) -> dict:
+                   runner, workers: int | None = None,
+                   trials: int | None = None) -> dict:
     kwargs = dict(_CI_KWARGS.get(experiment_id, {})) if scale == "ci" else {}
+    parameters = inspect.signature(runner).parameters
     if seed is not None:
-        if "seed" in inspect.signature(runner).parameters:
+        if "seed" in parameters:
             kwargs["seed"] = seed
         else:
             print(f"note: {experiment_id} does not take a seed; ignoring",
                   file=sys.stderr)
+    for name, value in (("workers", workers), ("n_trials", trials)):
+        if value is None:
+            continue
+        if name in parameters:
+            kwargs[name] = value
+        else:
+            print(
+                f"note: {experiment_id} does not take {name}; ignoring",
+                file=sys.stderr,
+            )
     return kwargs
 
 
-def _run_one(experiment_id: str, scale: str, seed: int | None = None) -> int:
+def _run_one(experiment_id: str, scale: str, seed: int | None = None,
+             workers: int | None = None, trials: int | None = None) -> int:
     try:
         title, runner = EXPERIMENTS[experiment_id]
     except KeyError:
         print(f"unknown experiment {experiment_id!r}; try `list`",
               file=sys.stderr)
         return 2
-    kwargs = _runner_kwargs(experiment_id, scale, seed, runner)
+    kwargs = _runner_kwargs(
+        experiment_id, scale, seed, runner, workers=workers, trials=trials
+    )
     print(f"== {experiment_id}: {title} ==")
     started = time.time()
     result = runner(**kwargs)
@@ -97,11 +114,13 @@ def _jsonable(value):
     return value
 
 
-def _run_campaign_json(experiment_id: str, seed: int | None) -> int:
+def _run_campaign_json(experiment_id: str, seed: int | None,
+                       workers: int | None = None) -> int:
     """Run a chaos campaign and print its scorecards as strict JSON."""
     title, runner = EXPERIMENTS[experiment_id]
     card_keys, metric_keys = _CAMPAIGN_JSON_KEYS[experiment_id]
-    kwargs = _runner_kwargs(experiment_id, "ci", seed, runner)
+    kwargs = _runner_kwargs(experiment_id, "ci", seed, runner,
+                            workers=workers)
     result = runner(**kwargs)
     payload = {
         "experiment": experiment_id,
@@ -115,6 +134,31 @@ def _run_campaign_json(experiment_id: str, seed: int | None) -> int:
     }
     json.dump(payload, sys.stdout, indent=2, sort_keys=True)
     print()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Run registered benchmarks and write BENCH_<ID>.json scorecards."""
+    from repro.engine.bench import BENCHMARKS, run_benchmark, write_scorecard
+
+    bench_ids = [b.lower() for b in args.benchmarks] or list(BENCHMARKS)
+    unknown = [b for b in bench_ids if b not in BENCHMARKS]
+    if unknown:
+        known = ", ".join(sorted(BENCHMARKS))
+        print(f"unknown benchmark(s): {', '.join(unknown)} (known: {known})",
+              file=sys.stderr)
+        return 2
+    payloads = []
+    for bench_id in bench_ids:
+        card = run_benchmark(
+            bench_id, scale=args.scale, workers=args.workers
+        )
+        path = write_scorecard(card, args.out_dir)
+        print(f"{card.summary()}  -> {path}", file=sys.stderr)
+        payloads.append(card.to_json())
+    if args.json:
+        json.dump(payloads, sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 
@@ -169,6 +213,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--seed", type=int, default=None,
         help="master seed for runners that take one (reproducible runs)",
     )
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for runners that fan out "
+             "(default: REPRO_WORKERS or 1; results are identical "
+             "for any value)",
+    )
+    run_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="Monte-Carlo trial count for runners that support it",
+    )
+    bench_parser = subparsers.add_parser(
+        "bench", help="run perf benchmarks; write BENCH_<ID>.json scorecards"
+    )
+    bench_parser.add_argument(
+        "benchmarks", nargs="*", metavar="BENCH",
+        help="bench ids (default: all registered)",
+    )
+    bench_parser.add_argument(
+        "--scale", choices=("default", "ci"), default="default",
+        help="ci = smoke-test sizes",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the optimized side of the A/B",
+    )
+    bench_parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_<ID>.json files (default: cwd)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="print the scorecards as JSON to stdout as well",
+    )
     for name, experiment_id, help_text in (
         ("serve", "E15",
          "run the E15 serving-under-CEE chaos campaign at CI scale"),
@@ -183,6 +260,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--json", action="store_true",
             help="print machine-readable scorecards instead of tables",
         )
+        campaign_parser.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool size for the campaign arms",
+        )
         campaign_parser.set_defaults(experiment_id=experiment_id)
 
     args = parser.parse_args(argv)
@@ -190,16 +271,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "cases":
         return _cmd_cases()
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command in ("serve", "store"):
         if args.json:
-            return _run_campaign_json(args.experiment_id, seed=args.seed)
-        return _run_one(args.experiment_id, "ci", seed=args.seed)
+            return _run_campaign_json(
+                args.experiment_id, seed=args.seed, workers=args.workers
+            )
+        return _run_one(
+            args.experiment_id, "ci", seed=args.seed, workers=args.workers
+        )
     if args.experiment == "all":
         status = 0
         for eid in EXPERIMENTS:
-            status = max(status, _run_one(eid, args.scale, seed=args.seed))
+            status = max(status, _run_one(
+                eid, args.scale, seed=args.seed,
+                workers=args.workers, trials=args.trials,
+            ))
         return status
-    return _run_one(args.experiment.upper(), args.scale, seed=args.seed)
+    return _run_one(
+        args.experiment.upper(), args.scale, seed=args.seed,
+        workers=args.workers, trials=args.trials,
+    )
 
 
 if __name__ == "__main__":

@@ -42,7 +42,7 @@ class Reporter(enum.Enum):
     HUMAN = "human"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class CeeEvent:
     """One observation that *might* indicate a mercurial core.
 

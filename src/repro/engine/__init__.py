@@ -1,0 +1,28 @@
+"""Parallel trial engine and benchmark scorecard harness.
+
+:mod:`repro.engine.runner` is imported eagerly (the experiments layer
+depends on it); :mod:`repro.engine.bench` is left as an explicit import
+because it depends back on :mod:`repro.analysis.experiments`.
+"""
+
+from repro.engine.runner import (
+    Trial,
+    TrialEngine,
+    WorkerCrashError,
+    WORKERS_ENV,
+    derive_trial_seeds,
+    resolve_workers,
+    run_tasks,
+    run_trials,
+)
+
+__all__ = [
+    "Trial",
+    "TrialEngine",
+    "WorkerCrashError",
+    "WORKERS_ENV",
+    "derive_trial_seeds",
+    "resolve_workers",
+    "run_tasks",
+    "run_trials",
+]

@@ -1,0 +1,190 @@
+"""Deterministic parallel trial execution.
+
+The experiments in :mod:`repro.analysis.experiments` are Monte-Carlo
+campaigns: independent trials that differ only in their seed.  This
+module is the one place that knows how to fan such trials out over a
+process pool while keeping the contract that matters for a
+reproduction: **parallelism changes latency, never results**.
+
+Three rules enforce that contract:
+
+1. Per-trial seeds come from :func:`derive_trial_seeds`
+   (``numpy.random.SeedSequence.spawn``), so trial *i*'s seed depends
+   only on the master seed and *i* — not on the worker count, the chunk
+   size, or how many trials run alongside it.
+2. Work is chunked and futures are gathered by **submission index**,
+   so results come back in trial order regardless of completion order.
+3. Workers that die (OOM-kill, ``os._exit`` in native code) surface as
+   a :class:`WorkerCrashError` immediately — the pool never hangs.
+
+``workers=1`` (the default unless ``REPRO_WORKERS`` says otherwise)
+bypasses the pool entirely and runs inline, so serial callers pay no
+pickling or fork cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment override for the default worker count
+WORKERS_ENV = "REPRO_WORKERS"
+
+_SEED_MASK = (1 << 63) - 1
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died without returning a result.
+
+    Raised instead of letting :class:`BrokenProcessPool` propagate so
+    callers get an actionable message (which chunk was lost, likely
+    causes) rather than a bare pool error — and never a hang.
+    """
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Trial:
+    """One unit of Monte-Carlo work: an index and its derived seed."""
+
+    index: int
+    seed: int
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        workers = int(os.environ.get(WORKERS_ENV, "1") or "1")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def derive_trial_seeds(seed: int, n_trials: int) -> list[int]:
+    """Independent, stable per-trial seeds from one master seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically
+    independent, and trial *i*'s seed is a pure function of
+    ``(seed, i)``: asking for more trials later extends the list
+    without changing the prefix already consumed.
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0]) & _SEED_MASK
+        for child in children
+    ]
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    return [fn(item) for item in chunk]
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally on a process pool.
+
+    Results are returned in item order.  With ``workers=1`` (or a
+    single item) everything runs inline in this process.  ``fn`` and
+    the items must be picklable when ``workers > 1`` — module-level
+    functions and :func:`functools.partial` over them qualify,
+    closures do not.
+
+    Exceptions raised *by* ``fn`` propagate unchanged; a worker process
+    dying raises :class:`WorkerCrashError`.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_workers(workers)
+    if workers == 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    if chunk_size is None:
+        # ~4 chunks per worker: coarse enough to amortize pickling,
+        # fine enough that a slow trial doesn't straggle a whole arm.
+        chunk_size = max(1, math.ceil(len(items) / (workers * 4)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = [
+        items[start:start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+    results: list[list[R] | None] = [None] * len(chunks)
+    with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+        futures = {
+            pool.submit(_run_chunk, fn, chunk): position
+            for position, chunk in enumerate(chunks)
+        }
+        for future in as_completed(futures):
+            position = futures[future]
+            try:
+                results[position] = future.result()
+            except BrokenProcessPool as error:
+                first = position * chunk_size
+                raise WorkerCrashError(
+                    f"worker process died while running chunk {position} "
+                    f"(items {first}..{first + len(chunks[position]) - 1}); "
+                    "typical causes: OOM kill, os._exit in native code, "
+                    "or an unpicklable result"
+                ) from error
+    return [result for chunk in results for result in chunk]  # type: ignore[union-attr]
+
+
+def run_trials(
+    fn: Callable[[Trial], R],
+    n_trials: int,
+    *,
+    seed: int = 0,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """Run ``fn`` over ``n_trials`` seeded :class:`Trial` objects.
+
+    The result list is ordered by trial index and is bit-identical for
+    any worker count (given ``fn`` itself is deterministic in its
+    trial seed).
+    """
+    trials = [
+        Trial(index, trial_seed)
+        for index, trial_seed in enumerate(derive_trial_seeds(seed, n_trials))
+    ]
+    return run_tasks(fn, trials, workers=workers, chunk_size=chunk_size)
+
+
+@dataclasses.dataclass
+class TrialEngine:
+    """A configured handle on the pool, for callers that fan out twice.
+
+    Thin convenience over :func:`run_tasks` / :func:`run_trials`; the
+    functions remain the primary API.
+    """
+
+    workers: int | None = None
+    chunk_size: int | None = None
+
+    def run_tasks(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return run_tasks(
+            fn, items, workers=self.workers, chunk_size=self.chunk_size
+        )
+
+    def run_trials(
+        self, fn: Callable[[Trial], R], n_trials: int, *, seed: int = 0
+    ) -> list[R]:
+        return run_trials(
+            fn, n_trials, seed=seed,
+            workers=self.workers, chunk_size=self.chunk_size,
+        )

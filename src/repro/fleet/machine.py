@@ -9,7 +9,7 @@ from repro.silicon.core import Chip, Core
 from repro.silicon.environment import DvfsTable, NOMINAL, OperatingPoint
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Machine:
     """One server in the fleet.
 

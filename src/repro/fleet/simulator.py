@@ -83,6 +83,16 @@ class SimulatorConfig:
     confession_attempts: int = 3
     policy: PolicyConfig = dataclasses.field(default_factory=PolicyConfig)
     suspicion_retest_threshold: float = 2.0
+    #: batch all per-tick Poisson/binomial/attribution draws across the
+    #: active mercurial population instead of drawing per core.  Both
+    #: paths are self-deterministic and statistically identical, but
+    #: they consume the RNG stream in different orders, so flipping this
+    #: changes individual event realizations (not the calibrated bands).
+    vectorized: bool = True
+    #: how stale a cached (silent, mce) rate split may get before the
+    #: vectorized path recomputes it from the defect models.  Defect
+    #: aging curves move on week scales, so 7 days loses nothing.
+    rate_refresh_days: float = 7.0
 
 
 @dataclasses.dataclass
@@ -192,6 +202,30 @@ class FleetSimulator:
         self.quarantine_day: dict[str, float] = {}
         self.detection_latency: dict[str, float] = {}
         self._screen_cursor = 0
+
+        # Vectorized-path caches: per-mercurial-core (silent, mce) rate
+        # splits, refreshed on defect onset and then at most every
+        # ``rate_refresh_days`` of core age.
+        n_mercurial = len(self._mercurial)
+        self._machine_ids = [m.machine_id for m in machines]
+        self._merc_silent = np.zeros(n_mercurial)
+        self._merc_mce = np.zeros(n_mercurial)
+        self._merc_rate_age = np.full(n_mercurial, -np.inf)
+        # Whole-population arrays for the vectorized active-core scan:
+        # onset is a pure age threshold (min across the core's defects),
+        # so activity and aging never need a per-core Python trip.  The
+        # age array mirrors core.age_days; the Core objects are synced
+        # on rate refresh (the only in-loop reader) and at end of run.
+        self._merc_onset = np.array([
+            min((d.aging.onset_days for d in core.defects), default=np.inf)
+            for _, core in self._mercurial
+        ])
+        self._merc_deploy = np.array(
+            [machine.deploy_day for machine, _ in self._mercurial]
+        )
+        self._merc_age = np.array(
+            [core.age_days for _, core in self._mercurial]
+        )
 
     # -- rate helpers ---------------------------------------------------
 
@@ -458,24 +492,243 @@ class FleetSimulator:
 
     # -- main loop --------------------------------------------------------------
 
+    def _tick_scalar(self, now: float, tick: float) -> None:
+        """The original per-core tick; kept as the measured baseline."""
+        for machine, core in self._mercurial:
+            if not core.online:
+                continue
+            if core.age_days < machine.age_days(now):
+                core.advance_age(machine.age_days(now) - core.age_days)
+            if not core.is_defective_now():
+                continue
+            self._emit_incidents(machine, core, now, tick)
+        self._emit_background(now, tick)
+        self._run_screening(now, tick)
+
+    def _refresh_rate(self, index: int) -> None:
+        machine, core = self._mercurial[index]
+        silent, mce = self._split_rates(core, self.production_mix)
+        self._merc_silent[index] = silent
+        self._merc_mce[index] = mce
+        self._merc_rate_age[index] = core.age_days
+
+    def _tick_vectorized(self, now: float, tick: float) -> None:
+        """One tick with all stochastic draws batched across the fleet.
+
+        Semantically the same campaign as :meth:`_tick_scalar` — same
+        channels, same caps, same attribution probabilities — but the
+        Poisson/binomial/attribution sampling happens as numpy array
+        draws over the currently-active mercurial cores, and events are
+        built positionally and appended in one ``extend``.
+        """
+        cfg = self.config
+        rng = self.rng
+        events: list[CeeEvent] = []
+        append = events.append
+
+        active: list[int] = []
+        mercurial = self._mercurial
+        if mercurial:
+            online = np.fromiter(
+                (core.online for _, core in mercurial), bool, len(mercurial)
+            )
+            target = np.maximum(now - self._merc_deploy, 0.0)
+            self._merc_age = np.where(
+                online, np.maximum(self._merc_age, target), self._merc_age
+            )
+            ages = self._merc_age
+            active_mask = online & (ages >= self._merc_onset)
+            stale = active_mask & (
+                (ages - self._merc_rate_age >= cfg.rate_refresh_days)
+                | ~np.isfinite(self._merc_rate_age)
+            )
+            for index in np.nonzero(stale)[0].tolist():
+                _machine, core = mercurial[index]
+                core.age_days = float(ages[index])
+                self._refresh_rate(index)
+            active = np.nonzero(active_mask)[0].tolist()
+
+        cap = max(1, int(cfg.max_surfaced_per_channel_per_day * tick))
+        if active:
+            idx = np.array(active)
+            silent = self._merc_silent[idx]
+            mce = self._merc_mce[idx]
+            exposed = cfg.exposed_ops_per_day * tick
+            n_corruptions = rng.poisson(silent * exposed)
+            n_mce = np.minimum(rng.poisson(mce * exposed), cap)
+            self.total_corruptions += int(n_corruptions.sum())
+            surfaced_selfcheck = np.minimum(
+                rng.binomial(n_corruptions, cfg.p_selfcheck_surface), cap
+            )
+            surfaced_crash = np.minimum(
+                rng.binomial(n_corruptions, cfg.p_crash_surface), cap
+            )
+            surfaced_user = np.minimum(
+                rng.binomial(n_corruptions, cfg.p_user_surface), cap
+            )
+            self.app_visible += int(surfaced_selfcheck.sum())
+
+            def channel_attribution(counts: np.ndarray, p: float) -> np.ndarray:
+                total = int(counts.sum())
+                return rng.random(total) < p if total else np.empty(0, bool)
+
+            mce_attr = channel_attribution(n_mce, cfg.p_attribute_mce)
+            cursor = 0
+            for j, count in zip(active, n_mce.tolist()):
+                if not count:
+                    continue
+                machine, core = self._mercurial[j]
+                for _ in range(count):
+                    append(CeeEvent(
+                        now, machine.machine_id,
+                        core.core_id if mce_attr[cursor] else None,
+                        EventKind.MACHINE_CHECK, Reporter.AUTOMATED,
+                        None, "mce",
+                    ))
+                    cursor += 1
+
+            selfcheck_attr = channel_attribution(
+                surfaced_selfcheck, cfg.p_attribute_selfcheck
+            )
+            app_ids = rng.integers(8, size=int(selfcheck_attr.sum())).tolist()
+            cursor = 0
+            drawn_apps = 0
+            for j, count in zip(active, surfaced_selfcheck.tolist()):
+                if not count:
+                    continue
+                machine, core = self._mercurial[j]
+                for _ in range(count):
+                    if selfcheck_attr[cursor]:
+                        self.complaints.report(
+                            Complaint(
+                                time_days=now,
+                                application=f"app{app_ids[drawn_apps]}",
+                                machine_id=machine.machine_id,
+                                core_id=core.core_id,
+                                detail="self-check failure",
+                            )
+                        )
+                        drawn_apps += 1
+                    else:
+                        append(CeeEvent(
+                            now, machine.machine_id, None,
+                            EventKind.SELF_CHECK_FAILURE, Reporter.AUTOMATED,
+                            None, "self-check failure",
+                        ))
+                    cursor += 1
+
+            crash_attr = channel_attribution(
+                surfaced_crash, cfg.p_attribute_crash
+            )
+            cursor = 0
+            for j, count in zip(active, surfaced_crash.tolist()):
+                if not count:
+                    continue
+                machine, core = self._mercurial[j]
+                for _ in range(count):
+                    append(CeeEvent(
+                        now, machine.machine_id,
+                        core.core_id if crash_attr[cursor] else None,
+                        EventKind.CRASH, Reporter.AUTOMATED,
+                        None, "process crash",
+                    ))
+                    cursor += 1
+
+            user_attr = channel_attribution(
+                surfaced_user, cfg.p_attribute_user
+            )
+            cursor = 0
+            for j, count in zip(active, surfaced_user.tolist()):
+                if not count:
+                    continue
+                machine, core = self._mercurial[j]
+                for _ in range(count):
+                    append(CeeEvent(
+                        now, machine.machine_id,
+                        core.core_id if user_attr[cursor] else None,
+                        EventKind.USER_REPORT, Reporter.HUMAN,
+                        None, "production incident",
+                    ))
+                    cursor += 1
+
+        # Background noise (software bugs, misfiled user suspicion).
+        n_machines = len(self.machines)
+        n_bg_crash = int(rng.poisson(cfg.bg_crash_rate * n_machines * tick))
+        if n_bg_crash:
+            for machine_index in rng.integers(
+                n_machines, size=n_bg_crash
+            ).tolist():
+                append(CeeEvent(
+                    now, self._machine_ids[machine_index], None,
+                    EventKind.CRASH, Reporter.AUTOMATED,
+                    None, "software bug",
+                ))
+        n_bg_user = int(rng.poisson(cfg.bg_user_rate * n_machines * tick))
+        if n_bg_user:
+            machine_indices = rng.integers(n_machines, size=n_bg_user).tolist()
+            core_picks = rng.random(n_bg_user).tolist()
+            user_attr = (rng.random(n_bg_user) < cfg.p_attribute_user).tolist()
+            for k, machine_index in enumerate(machine_indices):
+                machine = self.machines[machine_index]
+                cores = machine.cores
+                core = cores[int(core_picks[k] * len(cores))]
+                append(CeeEvent(
+                    now, machine.machine_id,
+                    core.core_id if user_attr[k] else None,
+                    EventKind.USER_REPORT, Reporter.HUMAN,
+                    None, "suspected bad machine",
+                ))
+
+        # Screening: cost in bulk, confession draws only for due cores.
+        n_cores = len(self._core_by_id)
+        coverage = self._coverage(now)
+        self.screening_ops += (
+            n_cores * tick / cfg.online_screen_period_days
+            * cfg.online_corpus_ops
+        )
+        self.screening_ops += (
+            n_cores * tick / cfg.offline_screen_period_days
+            * cfg.offline_corpus_ops
+        )
+        if active:
+            total_rate = self._merc_silent[idx] + self._merc_mce[idx]
+            schedules = (
+                (cfg.online_screen_period_days, cfg.online_corpus_ops,
+                 1.0, "online screen"),
+                (cfg.offline_screen_period_days, cfg.offline_corpus_ops,
+                 cfg.offline_env_boost, "offline screen"),
+            )
+            for period, corpus_ops, env_boost, label in schedules:
+                due = rng.random(len(active)) < tick / period
+                n_due = int(due.sum())
+                if not n_due:
+                    continue
+                p_detect = 1.0 - np.exp(
+                    -total_rate[due] * env_boost * coverage * corpus_ops
+                )
+                confessed = (rng.random(n_due) < p_detect).tolist()
+                for j, hit in zip(idx[due].tolist(), confessed):
+                    if not hit:
+                        continue
+                    machine, core = self._mercurial[j]
+                    append(CeeEvent(
+                        now, machine.machine_id, core.core_id,
+                        EventKind.SCREEN_FAIL, Reporter.AUTOMATED,
+                        None, label,
+                    ))
+
+        self.events.extend(events)
+
     def run(self) -> SimulationResult:
         """Run the whole campaign and return the results bundle."""
         cfg = self.config
+        tick_fn = self._tick_vectorized if cfg.vectorized else self._tick_scalar
         now = -cfg.warmup_days
         while now < cfg.horizon_days:
             tick = min(cfg.tick_days, cfg.horizon_days - now)
             now += tick
             events_before = len(self.events)
-            for machine, core in self._mercurial:
-                if not core.online:
-                    continue
-                if core.age_days < machine.age_days(now):
-                    core.advance_age(machine.age_days(now) - core.age_days)
-                if not core.is_defective_now():
-                    continue
-                self._emit_incidents(machine, core, now, tick)
-            self._emit_background(now, tick)
-            self._run_screening(now, tick)
+            tick_fn(now, tick)
             new_events = self.events.tail(events_before)
             self.analyzer.ingest_all(new_events)
             for suspect in self.complaints.quarantine_candidates():
@@ -484,6 +737,14 @@ class FleetSimulator:
                 )
             self._apply_policy(now)
             self._run_triage(now, tick, new_events)
+
+        if cfg.vectorized:
+            # The vectorized scan ages cores in the mirror array; sync
+            # the Core objects so post-run readers see the same ages the
+            # scalar path would have left behind.
+            for index, (_machine, core) in enumerate(self._mercurial):
+                if core.age_days < self._merc_age[index]:
+                    core.age_days = float(self._merc_age[index])
 
         n_cores = sum(len(m.cores) for m in self.machines)
         return SimulationResult(

@@ -19,7 +19,7 @@ import numpy as np
 from repro.silicon.defects import DefectModel, MachineCheckDefect
 from repro.silicon.environment import NOMINAL, OperatingPoint
 from repro.silicon.errors import CoreOfflineError, MachineCheckError
-from repro.silicon.golden import golden_execute
+from repro.silicon.golden import golden_call, golden_execute
 
 
 class Core:
@@ -30,9 +30,16 @@ class Core:
         defects: defect models afflicting this core (empty = healthy).
         env: initial operating point.
         rng: random generator used for probabilistic defects; a healthy
-            core never draws from it.
+            core never draws from it, so construction is lazy — fleets
+            of hundreds of thousands of healthy cores never pay for a
+            Generator each.
         age_days: current age since deployment, drives aging profiles.
     """
+
+    __slots__ = (
+        "core_id", "_defects", "env", "_rng", "age_days", "online",
+        "ops_executed", "corruptions_induced", "machine_checks_raised",
+    )
 
     def __init__(
         self,
@@ -48,7 +55,7 @@ class Core:
             if isinstance(defect, MachineCheckDefect):
                 defect.bind_core(core_id)
         self.env = env
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng
         self.age_days = age_days
         self.online = True
 
@@ -56,6 +63,18 @@ class Core:
         self.ops_executed = 0
         self.corruptions_induced = 0
         self.machine_checks_raised = 0
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Defect randomness source, created on first use."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = np.random.default_rng(0)
+        return rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
 
     # -- identity ------------------------------------------------------
 
@@ -103,14 +122,15 @@ class Core:
         if not self.online:
             raise CoreOfflineError(self.core_id)
         self.ops_executed += 1
-        result = golden_execute(op, *operands)
+        result = golden_call(op, operands)
         if not self._defects:
             return result
         golden = result
+        rng = self.rng
         for defect in self._defects:
             try:
                 result = defect.apply(
-                    op, operands, result, self.env, self.age_days, self.rng
+                    op, operands, result, self.env, self.age_days, rng
                 )
             except MachineCheckError:
                 self.machine_checks_raised += 1

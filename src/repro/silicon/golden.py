@@ -14,6 +14,8 @@ the expected results".
 
 from __future__ import annotations
 
+import functools
+import os
 from typing import Callable, Sequence, Tuple
 
 from repro.silicon.units import Op
@@ -181,3 +183,60 @@ def golden_execute(op: str, *operands):
     except KeyError:
         raise KeyError(f"unknown operation {op!r}") from None
     return fn(*operands)
+
+
+# -- memoized execution path ------------------------------------------
+#
+# ``golden_execute`` runs for *every* primitive operation of every
+# workload — on a defective core it runs before the defects perturb the
+# result, so campaign-scale experiments (E15/E16) execute it millions
+# of times over a tiny operand universe (AES field ops cover only
+# 2^8–2^16 distinct inputs).  The LRU below memoizes results keyed on
+# ``(op, operands)``; operations are pure, so a hit is always exact.
+# Trapping operations (DIV/MOD by zero) raise and are never cached.
+
+_CACHE_CAPACITY = 1 << 17
+
+
+@functools.lru_cache(maxsize=_CACHE_CAPACITY)
+def _golden_cached(op: str, operands: tuple):
+    return GOLDEN[op](*operands)
+
+
+_cache_enabled = os.environ.get("REPRO_GOLDEN_CACHE", "1") != "0"
+
+
+def set_golden_cache(enabled: bool) -> None:
+    """Enable/disable the golden LRU (the bench harness A/Bs this)."""
+    global _cache_enabled
+    _cache_enabled = bool(enabled)
+
+
+def golden_cache_enabled() -> bool:
+    return _cache_enabled
+
+
+def golden_cache_info():
+    """Hit/miss statistics of the golden LRU."""
+    return _golden_cached.cache_info()
+
+
+def golden_cache_clear() -> None:
+    _golden_cached.cache_clear()
+
+
+def golden_call(op: str, operands: tuple):
+    """Memoized :func:`golden_execute` over an operand tuple.
+
+    Falls back to the uncached path for unhashable operands (callers
+    passing lists) and preserves ``golden_execute``'s KeyError message
+    for unknown operations.
+    """
+    if not _cache_enabled:
+        return golden_execute(op, *operands)
+    try:
+        return _golden_cached(op, operands)
+    except TypeError:
+        return golden_execute(op, *operands)
+    except KeyError:
+        raise KeyError(f"unknown operation {op!r}") from None

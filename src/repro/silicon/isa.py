@@ -18,6 +18,7 @@ Machine model:
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Tuple
 
 from repro.silicon.units import Op
@@ -27,7 +28,7 @@ N_VECTOR_REGS = 8
 VLEN = 8
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Instruction:
     """One decoded instruction: mnemonic plus operand tuple.
 
@@ -126,6 +127,7 @@ def validate(instruction: Instruction) -> None:
             raise ValueError(f"negative immediate/target in {instruction}")
 
 
+@functools.lru_cache(maxsize=None)
 def core_op(mnemonic: str) -> str | None:
     """The :class:`~repro.silicon.units.Op` a mnemonic exercises (or None)."""
     return FORMATS[mnemonic][1]

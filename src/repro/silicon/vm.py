@@ -28,7 +28,7 @@ DEFAULT_MEMORY_WORDS = 4096
 DEFAULT_STEP_BUDGET = 200_000
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class VmResult:
     """Outcome of one program run."""
 

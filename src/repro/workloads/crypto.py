@@ -29,10 +29,126 @@ _SHIFT_ROWS = tuple(
 _INV_SHIFT_ROWS = tuple(_SHIFT_ROWS.index(i) for i in range(16))
 
 
+# -- healthy-core fast path --------------------------------------------
+#
+# A healthy Core returns the golden result of every op and never draws
+# from its rng, so an AES block on a healthy core is a pure function of
+# (block, round_keys) — the per-op trip through Core.execute only
+# maintains the ops_executed counter.  The campaign-scale experiments
+# (E15/E16) encrypt/decrypt millions of blocks on healthy cores; the
+# fast path below computes whole blocks from the same golden tables and
+# credits the counter in one step.  Mercurial cores — even before
+# defect onset — always take the per-op path, so defect behaviour and
+# rng streams are untouched.  Exact op counts and results are pinned to
+# the per-op path by tests/test_workload_crypto.py.
+
+#: ops per expand_key: 40 words x 4 XOR + 10 RotWord steps x (4 SBOX + 1 XOR)
+_EXPAND_OPS = 210
+#: ops per block: AddRoundKey 16, SubBytes 16, MixColumns 128 per round
+#: -> 16 + 9 * (16 + 128 + 16) + (16 + 16)
+_BLOCK_OPS = 1488
+
+_GF_TABLES: dict[int, list[int]] = {}
+_MIX_ROWS: dict[tuple, tuple] = {}
+
+
+def _gf_table(coefficient: int) -> list[int]:
+    table = _GF_TABLES.get(coefficient)
+    if table is None:
+        from repro.silicon.golden import GOLDEN
+
+        gfmul = GOLDEN[Op.GFMUL]
+        table = _GF_TABLES[coefficient] = [
+            gfmul(coefficient, b) for b in range(256)
+        ]
+    return table
+
+
+def _mix_rows(matrix: tuple) -> tuple:
+    rows = _MIX_ROWS.get(matrix)
+    if rows is None:
+        rows = _MIX_ROWS[matrix] = tuple(
+            tuple(_gf_table(c) for c in row) for row in matrix
+        )
+    return rows
+
+
+def _fast_core(core: CoreLike) -> bool:
+    from repro.silicon.core import Core
+    from repro.silicon.golden import golden_cache_enabled
+
+    return (
+        type(core) is Core
+        and not core.is_mercurial
+        and core.online
+        and golden_cache_enabled()
+    )
+
+
+def _fast_mix(state: list[int], rows: tuple) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        base = 4 * c
+        b0, b1, b2, b3 = state[base:base + 4]
+        for r, (t0, t1, t2, t3) in enumerate(rows):
+            out[base + r] = t0[b0] ^ t1[b1] ^ t2[b2] ^ t3[b3]
+    return out
+
+
+def _fast_expand_key(key: bytes) -> list[bytes]:
+    from repro.silicon.golden import AES_SBOX
+
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 4 * (N_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [AES_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        bytes(sum((words[4 * r + c] for c in range(4)), []))
+        for r in range(N_ROUNDS + 1)
+    ]
+
+
+def _fast_encrypt_block(block: bytes, round_keys: list[bytes]) -> bytes:
+    from repro.silicon.golden import AES_SBOX
+
+    rows = _mix_rows(_MIX)
+    state = [b ^ k for b, k in zip(block, round_keys[0])]
+    for round_index in range(1, N_ROUNDS):
+        state = [AES_SBOX[b] for b in state]
+        state = [state[j] for j in _SHIFT_ROWS]
+        state = _fast_mix(state, rows)
+        state = [a ^ k for a, k in zip(state, round_keys[round_index])]
+    state = [AES_SBOX[b] for b in state]
+    state = [state[j] for j in _SHIFT_ROWS]
+    return bytes(a ^ k for a, k in zip(state, round_keys[N_ROUNDS]))
+
+
+def _fast_decrypt_block(block: bytes, round_keys: list[bytes]) -> bytes:
+    from repro.silicon.golden import AES_INV_SBOX
+
+    rows = _mix_rows(_INV_MIX)
+    state = [b ^ k for b, k in zip(block, round_keys[N_ROUNDS])]
+    for round_index in range(N_ROUNDS - 1, 0, -1):
+        state = [state[j] for j in _INV_SHIFT_ROWS]
+        state = [AES_INV_SBOX[b] for b in state]
+        state = [a ^ k for a, k in zip(state, round_keys[round_index])]
+        state = _fast_mix(state, rows)
+    state = [state[j] for j in _INV_SHIFT_ROWS]
+    state = [AES_INV_SBOX[b] for b in state]
+    return bytes(a ^ k for a, k in zip(state, round_keys[0]))
+
+
 def expand_key(core: CoreLike, key: bytes) -> list[bytes]:
     """FIPS-197 key schedule: 11 round keys from a 16-byte key."""
     if len(key) != 16:
         raise ValueError("AES-128 needs a 16-byte key")
+    if _fast_core(core):
+        core.ops_executed += _EXPAND_OPS
+        return _fast_expand_key(key)
     words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
     for i in range(4, 4 * (N_ROUNDS + 1)):
         temp = list(words[i - 1])
@@ -99,6 +215,9 @@ def encrypt_block(core: CoreLike, block: bytes, round_keys: list[bytes]) -> byte
     """Encrypt one 16-byte block."""
     if len(block) != BLOCK_BYTES:
         raise ValueError("block must be 16 bytes")
+    if _fast_core(core):
+        core.ops_executed += _BLOCK_OPS
+        return _fast_encrypt_block(block, round_keys)
     state = _add_round_key(core, list(block), round_keys[0])
     for round_index in range(1, N_ROUNDS):
         state = _sub_bytes(core, state)
@@ -115,6 +234,9 @@ def decrypt_block(core: CoreLike, block: bytes, round_keys: list[bytes]) -> byte
     """Decrypt one 16-byte block (inverse cipher, FIPS-197 §5.3)."""
     if len(block) != BLOCK_BYTES:
         raise ValueError("block must be 16 bytes")
+    if _fast_core(core):
+        core.ops_executed += _BLOCK_OPS
+        return _fast_decrypt_block(block, round_keys)
     state = _add_round_key(core, list(block), round_keys[N_ROUNDS])
     for round_index in range(N_ROUNDS - 1, 0, -1):
         state = _inv_shift_rows(state)

@@ -104,3 +104,67 @@ class TestCryptoWorkload:
         result = crypto_workload(healthy_core, b"data" * 16, KEY)
         assert not result.app_detected
         assert result.units == 5  # 64 bytes + padding = 5 blocks
+
+
+class TestHealthyFastPath:
+    """The block fast path must be invisible: same bytes, same counters.
+
+    A healthy Core always returns golden results, so encrypt/decrypt/
+    expand_key can shortcut the per-op Core.execute trip — but only if
+    results AND the ops_executed accounting stay bit-for-bit identical
+    to the per-op path.
+    """
+
+    def _per_op(self, fn, *args):
+        from repro.silicon.golden import set_golden_cache
+
+        core = Core("fast/ref")
+        # Disabling the golden cache forces the per-op reference path.
+        set_golden_cache(False)
+        try:
+            result = fn(core, *args)
+        finally:
+            set_golden_cache(True)
+        return result, core.ops_executed
+
+    def test_expand_key_matches_per_op_path(self):
+        want, want_ops = self._per_op(expand_key, FIPS_KEY)
+        core = Core("fast/a")
+        assert expand_key(core, FIPS_KEY) == want
+        assert core.ops_executed == want_ops
+
+    def test_encrypt_matches_per_op_path(self):
+        core = Core("fast/b")
+        round_keys = expand_key(core, FIPS_KEY)
+        want, want_ops = self._per_op(encrypt_block, FIPS_PLAINTEXT, round_keys)
+        before = core.ops_executed
+        assert encrypt_block(core, FIPS_PLAINTEXT, round_keys) == want == \
+            FIPS_CIPHERTEXT
+        assert core.ops_executed - before == want_ops
+
+    def test_decrypt_matches_per_op_path(self):
+        core = Core("fast/c")
+        round_keys = expand_key(core, FIPS_KEY)
+        want, want_ops = self._per_op(decrypt_block, FIPS_CIPHERTEXT, round_keys)
+        before = core.ops_executed
+        assert decrypt_block(core, FIPS_CIPHERTEXT, round_keys) == want == \
+            FIPS_PLAINTEXT
+        assert core.ops_executed - before == want_ops
+
+    def test_mercurial_core_never_takes_the_fast_path(self):
+        from repro.workloads.crypto import _fast_core
+
+        defective = Core(
+            "fast/bad", defects=named_case("self_inverting_aes"),
+            rng=np.random.default_rng(1),
+        )
+        assert not _fast_core(defective)
+
+    def test_offline_core_still_raises(self):
+        from repro.silicon.errors import CoreOfflineError
+
+        core = Core("fast/off")
+        round_keys = expand_key(core, FIPS_KEY)
+        core.set_online(False)
+        with pytest.raises(CoreOfflineError):
+            encrypt_block(core, FIPS_PLAINTEXT, round_keys)
