@@ -23,6 +23,15 @@ Subpackages:
   telemetry, and the discrete-event fleet simulator.
 - :mod:`repro.analysis` — statistics, detection economics, experiment
   registry, and text renderers for the paper's figure and tables.
+- :mod:`repro.serving` — simulated RPC service over fleet cores with
+  CEE-hardening (validation, retries, hedging, breakers) campaigns.
+- :mod:`repro.storage` — quorum-replicated KV store whose bytes cross
+  fleet silicon, with scrub/repair and chaos campaigns.
+- :mod:`repro.engine` — deterministic parallel trial execution and the
+  benchmark harness with committed scorecards.
+- :mod:`repro.obs` — unified observability: metrics registry, trace
+  spans, exporters, and corruption-forensics timelines (see
+  OBSERVABILITY.md).
 """
 
 __version__ = "1.0.0"

@@ -27,7 +27,12 @@ from repro.analysis.stats import (
     trend_slope,
 )
 from repro.core.events import EventKind, Reporter
-from repro.core.metrics import confusion, incidence_per_kmachine, onset_stats
+from repro.core.metrics import (
+    confusion,
+    incidence_per_kmachine,
+    onset_stats,
+    publish_confusion,
+)
 from repro.core.report import Complaint, CoreComplaintService
 from repro.core.taxonomy import Symptom
 from repro.core.triage import HumanTriageModel, TriageOutcome
@@ -40,6 +45,7 @@ from repro.fleet.population import FleetBuilder, ground_truth_map
 from repro.fleet.product import DEFAULT_PRODUCTS
 from repro.fleet.scheduler import FleetScheduler, Task
 from repro.fleet.simulator import FleetSimulator, SimulatorConfig
+from repro.obs.forensics import latency_percentiles
 from repro.mitigation.checkpoint import CheckpointRuntime
 from repro.serving import (
     CampaignConfig,
@@ -181,6 +187,7 @@ def _incidence_trial(
     )
     result = simulator.run()
     detection = confusion(ground_truth_map(machines), result.flagged())
+    publish_confusion(detection, detector="fleet")
     return {
         "trial": trial.index,
         "seed": trial.seed,
@@ -1058,6 +1065,22 @@ def run_aging(seed: int = 47, n_defects: int = 3000) -> dict:
 # E15 — serving under CEE: chaos campaign, hardened vs unhardened
 # ---------------------------------------------------------------------
 
+def _detection_latency_line(label: str, summary: dict) -> str:
+    """One rendered line of corrupt→quarantine latency percentiles."""
+    pcts = latency_percentiles(summary, "corrupt_to_quarantine_ms")
+    if not pcts.get("n"):
+        return f"\n{label}: no completed corrupt->quarantine incidents"
+    values = " ".join(
+        f"{name}={pcts[name]:.0f}ms"
+        for name in ("p50", "p90", "p99")
+        if pcts[name] is not None
+    )
+    return (
+        f"\n{label}: corrupt->quarantine {values} "
+        f"(n={pcts['n']} incidents)"
+    )
+
+
 def _serving_campaign(
     hardening_name: str,
     *,
@@ -1170,6 +1193,7 @@ def run_serving_under_cee(
         + f"; p99 cost {p99_cost:.2f}x, goodput cost {goodput_cost:.2f}x"
         + f"\nbad core {bad_core_id} quarantined at tick "
         + f"{q_breaker} (breaker) vs {q_validator} (validation signals only)"
+        + _detection_latency_line("hardened", cards[1].detection_latency_ms)
     )
     return {
         "unhardened": cards[0],
@@ -1184,6 +1208,9 @@ def run_serving_under_cee(
         "breaker_trip_events": len(trip_events),
         "quarantine_tick_breaker": q_breaker,
         "quarantine_tick_validator_only": q_validator,
+        "detection_latency_hardened": latency_percentiles(
+            cards[1].detection_latency_ms, "corrupt_to_quarantine_ms"
+        ),
         "hardened_events": hardened_events,
         "rendered": rendered,
     }
@@ -1325,6 +1352,7 @@ def run_storage_under_cee(
             + ", ".join(base_wrongly_quarantined)
             if base_wrongly_quarantined else ""
         )
+        + _detection_latency_line("protected", full.detection_latency_ms)
     )
     return {
         "unprotected": base,
@@ -1342,6 +1370,9 @@ def run_storage_under_cee(
         "write_amp_cost": amp_cost,
         "quarantine_tick_dedicated": q_dedicated,
         "quarantine_tick_generic": q_generic,
+        "detection_latency_protected": latency_percentiles(
+            full.detection_latency_ms, "corrupt_to_quarantine_ms"
+        ),
         "protected_events": protected_events,
         "rendered": rendered,
     }

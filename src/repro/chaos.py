@@ -35,6 +35,8 @@ import enum
 
 
 class ChaosKind(enum.Enum):
+    """The campaign chaos vocabulary: what an injected fault does."""
+
     ACTIVATE_DEFECT = "activate_defect"
     CRASH_CORE = "crash_core"
     MACHINE_CHECK_BURST = "machine_check_burst"

@@ -14,6 +14,9 @@ Usage::
     python -m repro cases                 # the §2 named defect case studies
     python -m repro bench --scale ci      # perf scorecards -> BENCH_<ID>.json
     python -m repro run E1 --trials 8 --workers 4   # parallel Monte-Carlo
+    python -m repro metrics e15           # Prometheus-text metric dump
+    python -m repro metrics e16 --format json   # JSON metric snapshot
+    python -m repro trace e15             # corruption-forensics timeline
 """
 
 from __future__ import annotations
@@ -162,6 +165,76 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _obs_campaign(source: str, seed: int) -> tuple:
+    """Run one observability-instrumented campaign arm at CI scale.
+
+    Returns ``(scorecard, events, bad_core_id, tick_ms)``; the obs
+    registry and tracer hold the run's metrics and spans afterwards.
+    """
+    from repro import obs
+
+    obs.set_enabled(True)
+    obs.metrics.reset()
+    obs.tracer.reset()
+    if source == "e15":
+        from repro.analysis.experiments import _serving_campaign
+        from repro.serving.campaign import CampaignConfig
+
+        card, events, bad_core_id = _serving_campaign(
+            "hardened", ticks=_CI_KWARGS["E15"]["ticks"], n_machines=4,
+            cores_per_machine=4, defect_rate=0.05, seed=seed,
+            onset_age=400.0,
+        )
+        return card, events, bad_core_id, CampaignConfig().tick_ms
+    from repro.analysis.experiments import _storage_campaign
+    from repro.storage.campaign import StorageCampaignConfig
+
+    card, events, bad_core_id = _storage_campaign(
+        "protected", ticks=_CI_KWARGS["E16"]["ticks"], n_machines=4,
+        cores_per_machine=4, defect_rate=0.05, seed=seed, onset_age=400.0,
+    )
+    return card, events, bad_core_id, StorageCampaignConfig().tick_ms
+
+
+def _cmd_metrics(args) -> int:
+    """Run an instrumented campaign and dump the metric registry."""
+    from repro import obs
+    from repro.obs.export import to_json, to_prometheus
+
+    seed = 0 if args.seed is None else args.seed
+    if args.source == "e1":
+        from repro.analysis.experiments import _incidence_trial
+        from repro.engine import Trial
+
+        obs.set_enabled(True)
+        obs.metrics.reset()
+        obs.tracer.reset()
+        _incidence_trial(Trial(0, seed), n_machines=2000, horizon_days=60.0)
+    else:
+        _obs_campaign(args.source, seed)
+    if args.format == "json":
+        print(to_json(obs.metrics))
+    else:
+        print(to_prometheus(obs.metrics), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run an instrumented campaign and print its forensics timeline."""
+    from repro import obs
+    from repro.obs.forensics import render_forensics
+
+    seed = 0 if args.seed is None else args.seed
+    card, events, bad_core_id, tick_ms = _obs_campaign(args.campaign, seed)
+    arm = "E15 hardened" if args.campaign == "e15" else "E16 protected"
+    print(render_forensics(
+        f"{arm}, seed {seed}, bad core {bad_core_id}",
+        card.detection_latency_ms, events, obs.tracer.drain(), tick_ms,
+        quarantine_tick=card.quarantine_tick,
+    ))
+    return 0
+
+
 def _cmd_list() -> int:
     width = max(len(eid) for eid in EXPERIMENTS)
     for eid, (title, _) in EXPERIMENTS.items():
@@ -266,6 +339,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         campaign_parser.set_defaults(experiment_id=experiment_id)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="run an instrumented campaign; dump the metric registry",
+    )
+    metrics_parser.add_argument(
+        "source", nargs="?", choices=("e1", "e15", "e16"), default="e15",
+        help="which campaign to instrument (default: e15)",
+    )
+    metrics_parser.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="Prometheus text exposition (default) or JSON snapshot",
+    )
+    metrics_parser.add_argument(
+        "--seed", type=int, default=None, help="campaign master seed",
+    )
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run an instrumented campaign; print corruption forensics",
+    )
+    trace_parser.add_argument(
+        "campaign", nargs="?", choices=("e15", "e16"), default="e15",
+        help="which chaos campaign to trace (default: e15)",
+    )
+    trace_parser.add_argument(
+        "--seed", type=int, default=None, help="campaign master seed",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -273,6 +373,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cases()
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command in ("serve", "store"):
         if args.json:
             return _run_campaign_json(

@@ -20,6 +20,8 @@ import dataclasses
 import statistics
 from typing import Iterable, Mapping, Sequence
 
+from repro import obs
+
 
 @dataclasses.dataclass(frozen=True)
 class Confusion:
@@ -71,6 +73,26 @@ def confusion(
     return Confusion(tp, fp, fn, tn)
 
 
+def publish_confusion(confusion: Confusion, detector: str = "fleet") -> None:
+    """Publish one detector's confusion counts to the obs registry.
+
+    Replaces the old pattern of each campaign keeping its own ad-hoc
+    tally dicts: gauges (last write wins) because a confusion matrix is
+    a *state* of the trial, not an accumulating flow.
+    """
+    if not obs.metrics.enabled:
+        return
+    gauge = obs.metrics.gauge(
+        "detection_confusion",
+        help="detector confusion-matrix counts vs ground truth",
+        unit="cores",
+    )
+    gauge.set(confusion.true_positives, detector=detector, cell="tp")
+    gauge.set(confusion.false_positives, detector=detector, cell="fp")
+    gauge.set(confusion.false_negatives, detector=detector, cell="fn")
+    gauge.set(confusion.true_negatives, detector=detector, cell="tn")
+
+
 def incidence_per_kmachine(n_mercurial_machines: int, n_machines: int) -> float:
     """Mercurial machines per 1000 machines.
 
@@ -83,6 +105,7 @@ def incidence_per_kmachine(n_mercurial_machines: int, n_machines: int) -> float:
 
 
 def core_incidence_fraction(n_mercurial_cores: int, n_cores: int) -> float:
+    """Fraction of all cores that are mercurial (ground truth)."""
     if n_cores <= 0:
         raise ValueError("need a positive core count")
     return n_mercurial_cores / n_cores

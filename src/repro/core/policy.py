@@ -22,6 +22,8 @@ import enum
 
 
 class Action(enum.Enum):
+    """What the quarantine policy decided to do about one core."""
+
     NONE = "none"
     MONITOR = "monitor"
     RETEST = "retest"
@@ -68,6 +70,8 @@ class PolicyConfig:
 
 @dataclasses.dataclass(frozen=True)
 class Decision:
+    """One policy decision: the action taken on a core, and why."""
+
     core_id: str
     action: Action
     reason: str

@@ -25,8 +25,26 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.silicon.core import Core
 from repro.silicon.units import unit_of
+
+
+def _record_isolation(
+    scope: str, target_id: str, mercurial: bool, running_tasks: int
+) -> None:
+    """Obs hook for isolation actions (rare; checked at call time)."""
+    obs.metrics.counter(
+        "detection_isolations_total",
+        help="isolation actions, by scope (core = CSR-style, machine = "
+             "whole box) and ground truth of the victim",
+        unit="actions",
+    ).inc(scope=scope, mercurial="yes" if mercurial else "no")
+    with obs.tracer.span(
+        "detection.quarantine", scope=scope, target=target_id,
+        running_tasks=running_tasks,
+    ):
+        pass
 
 
 @dataclasses.dataclass
@@ -58,6 +76,10 @@ class CoreQuarantine:
             self.cost.healthy_cores_stranded += 1
         self.cost.migrations += running_tasks
         self.cost.migration_coreseconds += running_tasks * self.migration_cost
+        if obs.metrics.enabled:
+            _record_isolation(
+                "core", core.core_id, core.is_mercurial, running_tasks
+            )
 
     def restore(self, core: Core) -> None:
         if core.core_id not in self.removed:
@@ -88,6 +110,11 @@ class MachineQuarantine:
                 self.cost.healthy_cores_stranded += 1
         self.cost.migrations += running_tasks
         self.cost.migration_coreseconds += running_tasks * self.migration_cost
+        if obs.metrics.enabled:
+            _record_isolation(
+                "machine", machine_id,
+                any(core.is_mercurial for core in cores), running_tasks,
+            )
 
 
 def safe_op_mix(core: Core, op_mix: dict[str, float], threshold: float = 1e-9) -> bool:

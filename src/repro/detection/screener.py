@@ -18,21 +18,29 @@ import enum
 
 
 class Automation(enum.Enum):
+    """Who drives the screen: tooling or a human operator (§6)."""
+
     AUTOMATED = "automated"
     HUMAN = "human"
 
 
 class DeploymentPhase(enum.Enum):
+    """When the screen runs: burn-in before deployment, or in the fleet."""
+
     PRE_DEPLOYMENT = "pre_deployment"
     POST_DEPLOYMENT = "post_deployment"
 
 
 class Mode(enum.Enum):
+    """Whether the core is out of production (offline) or serving (online)."""
+
     OFFLINE = "offline"
     ONLINE = "online"
 
 
 class Level(enum.Enum):
+    """Where the signal originates: infrastructure tests or applications."""
+
     INFRASTRUCTURE = "infrastructure"
     APPLICATION = "application"
 

@@ -32,6 +32,8 @@ DEFAULT_WEIGHTS: Mapping[EventKind, float] = default_weights()
 
 @dataclasses.dataclass
 class SignalAnalyzerConfig:
+    """Tunable weights and windows for suspicion scoring."""
+
     weights: Mapping[EventKind, float] = dataclasses.field(
         default_factory=lambda: dict(DEFAULT_WEIGHTS)
     )

@@ -315,12 +315,90 @@ def bench_e16(scale: str, workers: int) -> BenchScorecard:
     )
 
 
+def bench_obs(scale: str, workers: int) -> BenchScorecard:
+    """Observability overhead: REPRO_OBS=off must be (nearly) free.
+
+    Times the full E1 incidence trial (build + sim + detection scoring)
+    three ways, interleaved so thermal / cache drift hits every side
+    equally:
+
+    - **ref** — obs disabled (the first "off" pass; the A/A reference);
+    - **off** — obs disabled again: ``off vs ref`` is the measurement
+      noise floor, and its median delta is the committed no-op-mode
+      overhead claim (<3% per ISSUE/OBSERVABILITY.md);
+    - **on** — obs enabled: what full instrumentation costs.
+
+    ``speedup`` on this card is ref/off (≈1.0 when the no-op mode is
+    actually free); the on-mode cost is in ``metrics``.
+    """
+    from repro import obs
+    from repro.analysis.experiments import _incidence_trial
+    from repro.engine.runner import Trial
+    from repro.workloads.generator import blended_op_mix
+
+    if scale == "ci":
+        n_machines, horizon, reps = 2000, 60.0, 3
+    else:
+        n_machines, horizon, reps = 12000, 270.0, 5
+    seed = 7
+    blended_op_mix()  # warm the lru cache so no side pays it
+
+    def trial() -> dict:
+        return _incidence_trial(
+            Trial(0, seed), n_machines=n_machines, horizon_days=horizon
+        )
+
+    prior = obs.enabled()
+    times: dict[str, list[float]] = {"ref": [], "off": [], "on": []}
+    try:
+        trial()  # warm both paths once before any timed pass
+        for _ in range(reps):
+            for mode in ("ref", "off", "on"):
+                obs.set_enabled(mode == "on")
+                if mode == "on":
+                    obs.metrics.reset()
+                    obs.tracer.reset()
+                seconds, _ = _timed(trial)
+                times[mode].append(seconds)
+    finally:
+        obs.set_enabled(prior)
+    ref_s = float(np.median(times["ref"]))
+    off_s = float(np.median(times["off"]))
+    on_s = float(np.median(times["on"]))
+    off_overhead_pct = 100.0 * (off_s - ref_s) / max(ref_s, 1e-9)
+    on_overhead_pct = 100.0 * (on_s - off_s) / max(off_s, 1e-9)
+    return BenchScorecard(
+        bench_id="obs",
+        title="observability overhead (REPRO_OBS off vs on)",
+        scale=scale,
+        workers=workers,
+        wall_s=off_s,
+        baseline_wall_s=ref_s,
+        speedup=ref_s / max(off_s, 1e-9),
+        trials=reps,
+        trials_per_s=1.0 / max(off_s, 1e-9),
+        metrics={
+            "n_machines": n_machines,
+            "horizon_days": horizon,
+            "reps": reps,
+            "ref_s": ref_s,
+            "off_s": off_s,
+            "on_s": on_s,
+            # the committed claim: no-op mode within noise of never
+            # having imported obs at all (A/A delta), <3%
+            "off_overhead_pct": off_overhead_pct,
+            "on_overhead_pct": on_overhead_pct,
+        },
+    )
+
+
 #: bench id → (title, runner)
 BENCHMARKS: dict[str, tuple[str, Callable[[str, int], BenchScorecard]]] = {
     "build": ("Fleet construction: legacy vs vectorized", bench_build),
     "e1": ("E1 incidence: serial legacy vs engine", bench_e1),
     "e15": ("E15 serving campaign: uncached serial vs engine", bench_e15),
     "e16": ("E16 storage campaign: uncached serial vs engine", bench_e16),
+    "obs": ("Observability overhead: off-mode A/A vs on", bench_obs),
 }
 
 

@@ -25,6 +25,7 @@ pickling or fork cost.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -32,6 +33,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
+
+from repro import obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -144,6 +147,25 @@ def run_tasks(
     return [result for chunk in results for result in chunk]  # type: ignore[union-attr]
 
 
+def _obs_trial(fn: Callable[[Trial], R], trial: Trial) -> tuple[R, list, dict]:
+    """Run one trial inside a fresh observability scope.
+
+    Resetting the process-global registry *before* the trial is the
+    fix for the telemetry-leak bug: pool workers are long-lived, so
+    without the reset a worker's counters accumulate across every
+    trial it happens to execute and the merged totals depend on the
+    worker count.  After the trial we hand back a snapshot (to merge
+    in the parent) plus the drained spans (so traces survive the
+    pickle boundary).  Trace/span ids derive from the trial seed
+    alone, so they are identical for any worker count.
+    """
+    obs.metrics.reset()
+    obs.tracer.start_trace(trial.seed)
+    with obs.tracer.span("engine.trial", index=trial.index, seed=trial.seed):
+        result = fn(trial)
+    return result, obs.tracer.drain(), obs.metrics.snapshot()
+
+
 def run_trials(
     fn: Callable[[Trial], R],
     n_trials: int,
@@ -157,12 +179,35 @@ def run_trials(
     The result list is ordered by trial index and is bit-identical for
     any worker count (given ``fn`` itself is deterministic in its
     trial seed).
+
+    When observability is on (:func:`repro.obs.enabled`), each trial
+    runs under a per-trial ``engine.trial`` span with a registry reset
+    at trial entry; worker-side metric snapshots and spans are merged
+    back here in trial order, so the parent process ends up with the
+    same metrics and spans regardless of the worker count.
     """
     trials = [
         Trial(index, trial_seed)
         for index, trial_seed in enumerate(derive_trial_seeds(seed, n_trials))
     ]
-    return run_tasks(fn, trials, workers=workers, chunk_size=chunk_size)
+    if not obs.enabled():
+        return run_tasks(fn, trials, workers=workers, chunk_size=chunk_size)
+    # Preserve whatever the parent already recorded this session: trials
+    # replace the registry contents while they run, then everything is
+    # merged back in a deterministic (trial-index) order.
+    base_spans = obs.tracer.drain()
+    base_metrics = obs.metrics.snapshot()
+    wrapped = functools.partial(_obs_trial, fn)
+    outcomes = run_tasks(wrapped, trials, workers=workers, chunk_size=chunk_size)
+    obs.metrics.reset()
+    obs.metrics.merge(base_metrics)
+    obs.tracer.adopt(base_spans)
+    results: list[R] = []
+    for result, spans, snapshot in outcomes:
+        results.append(result)
+        obs.tracer.adopt(spans)
+        obs.metrics.merge(snapshot)
+    return results
 
 
 @dataclasses.dataclass

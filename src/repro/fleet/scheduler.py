@@ -33,6 +33,8 @@ class Task:
 
 @dataclasses.dataclass
 class Placement:
+    """One task bound to one core (flagging quarantine violations)."""
+
     task: Task
     core_id: str
     on_quarantined_core: bool = False
@@ -40,6 +42,8 @@ class Placement:
 
 @dataclasses.dataclass
 class ScheduleStats:
+    """Scheduler outcome tallies for one placement round."""
+
     placed: int = 0
     unplaceable: int = 0
     placed_on_quarantined: int = 0

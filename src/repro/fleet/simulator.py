@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.core.confidence import SuspicionTracker
 from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
 from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
@@ -202,6 +203,30 @@ class FleetSimulator:
         self.quarantine_day: dict[str, float] = {}
         self.detection_latency: dict[str, float] = {}
         self._screen_cursor = 0
+
+        # Observability: the enabled flag is cached so the per-tick hot
+        # loop pays one attribute test when off (BENCH_OBS contract).
+        self._obs_on = obs.enabled()
+        if self._obs_on:
+            self._m_ticks = obs.metrics.counter(
+                "fleet_ticks_total", help="simulator ticks run", unit="ticks",
+            )
+            self._m_events = obs.metrics.counter(
+                "fleet_events_total",
+                help="CeeEvents appended by the simulator", unit="events",
+            )
+            self._m_quarantines = obs.metrics.counter(
+                "fleet_quarantines_total",
+                help="cores taken offline by the fleet policy, by ground "
+                     "truth of the victim",
+                unit="cores",
+            )
+            self._h_latency = obs.metrics.histogram(
+                "fleet_detection_latency_days",
+                help="defect onset to quarantine, truly mercurial cores",
+                unit="days",
+                buckets=(1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 240.0, 480.0),
+            )
 
         # Vectorized-path caches: per-mercurial-core (silent, mce) rate
         # splits, refreshed on defect onset and then at most every
@@ -422,6 +447,11 @@ class FleetSimulator:
         if core.is_mercurial:
             onset = self.truth.onset_days_by_core.get(core_id, 0.0)
             self.detection_latency[core_id] = max(0.0, now - onset)
+        if self._obs_on:
+            mercurial = "yes" if core.is_mercurial else "no"
+            self._m_quarantines.inc(mercurial=mercurial)
+            if core.is_mercurial:
+                self._h_latency.observe(self.detection_latency[core_id])
 
     def _apply_policy(self, now: float) -> None:
         suspects = self.analyzer.suspects(
@@ -730,6 +760,10 @@ class FleetSimulator:
             events_before = len(self.events)
             tick_fn(now, tick)
             new_events = self.events.tail(events_before)
+            if self._obs_on:
+                self._m_ticks.inc()
+                if new_events:
+                    self._m_events.inc(len(new_events))
             self.analyzer.ingest_all(new_events)
             for suspect in self.complaints.quarantine_candidates():
                 self.analyzer.tracker.record(

@@ -46,6 +46,8 @@ class Commit:
 
 @dataclasses.dataclass
 class BftStats:
+    """Command/execution/dissent tallies for one replicated log run."""
+
     commands: int = 0
     executions: int = 0
     dissents: int = 0

@@ -36,6 +36,8 @@ class IntegrityError(RuntimeError):
 
 @dataclasses.dataclass
 class E2eStats:
+    """End-to-end check tallies: operations seen, failures caught."""
+
     writes: int = 0
     reads: int = 0
     write_failures_caught: int = 0

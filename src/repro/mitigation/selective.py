@@ -58,6 +58,8 @@ def impact_score(stage: Stage) -> float:
 
 @dataclasses.dataclass
 class ReplicationStats:
+    """How much work ran once vs replicated under the selective policy."""
+
     stages_run: int = 0
     stages_replicated: int = 0
     single_executions: int = 0

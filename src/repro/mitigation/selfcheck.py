@@ -32,6 +32,8 @@ class SelfCheckError(RuntimeError):
 
 @dataclasses.dataclass
 class SelfCheckStats:
+    """Self-checking library tallies: verifications run, failures caught."""
+
     operations: int = 0
     verifications: int = 0
     failures_caught: int = 0

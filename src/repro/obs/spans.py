@@ -1,0 +1,198 @@
+"""Structured trace spans with deterministic, seed-derived ids.
+
+A :class:`Tracer` records :class:`Span` records through a
+context-manager API::
+
+    with tracer.span("serving.request", request_id=7) as sp:
+        ...
+        sp.attrs["status"] = "ok"
+
+Determinism is the whole point.  Real tracing systems mint random span
+ids and stamp wall-clock times; both would break the repo's invariant
+that a seeded campaign is bit-reproducible and that workers 1 vs N
+produce identical artifacts.  Instead:
+
+* the **trace id** is a hash of the trial seed (:meth:`Tracer.start_trace`),
+* each **span id** is a hash of ``(trace_id, parent_id, name, child_index)``
+  — the index being a per-parent counter, so the id encodes the span's
+  position in the call tree and nothing else,
+* **timestamps** come from a settable clock that campaigns point at
+  their simulated-time counter (ticks x tick_ms); the default clock
+  returns 0.0 so spans created outside any campaign stay deterministic.
+
+Spans survive the process pool: a worker's spans are plain picklable
+dataclasses, drained with :meth:`Tracer.drain` and re-attached on the
+parent with :meth:`Tracer.adopt` (see ``repro.engine.runner``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable
+
+#: parent_id used for root spans when hashing child indices
+_ROOT = ""
+
+
+def _hash_id(*parts: object, digest_size: int = 8) -> str:
+    text = "/".join(str(p) for p in parts)
+    return hashlib.blake2b(text.encode(), digest_size=digest_size).hexdigest()
+
+
+@dataclasses.dataclass
+class Span:
+    """One recorded operation: name, ids, simulated-time bounds, attrs."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_ms: float
+    end_ms: float | None = None
+    attrs: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+class _NullSpan:
+    """Context manager handed out when tracing is disabled.
+
+    Supports the same ``sp.attrs[...] = ...`` idiom; the dict is
+    discarded on exit so disabled call sites stay allocation-light and
+    never accumulate state.
+    """
+
+    __slots__ = ("attrs",)
+
+    def __enter__(self) -> "_NullSpan":
+        self.attrs: dict = {}
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one real span on its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_ms = self._tracer._clock()
+        if exc is not None:
+            span.attrs.setdefault("error", type(exc).__name__)
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer._spans.append(span)
+        return False
+
+
+class Tracer:
+    """Collects spans for the current process; one per obs singleton."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._child_counts: dict[str, int] = {}
+        self._trace_id = _hash_id("trace", 0)
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._null = _NullSpan()
+
+    # -- configuration --------------------------------------------------
+
+    @property
+    def trace_id(self) -> str:
+        return self._trace_id
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Point span timestamps at a simulated-time source.
+
+        Campaigns call this with ``lambda: self._now_ms`` so span times
+        line up with scorecard latencies and event ``time_days``.  Never
+        wire this to a wall clock — ids are deterministic but the
+        recorded times would not be.
+        """
+        self._clock = clock
+
+    def start_trace(self, seed: int) -> str:
+        """Begin a fresh trace rooted at ``seed``; clears recorded spans.
+
+        Returns the new trace id (a hash of the seed, so the same trial
+        seed yields the same trace regardless of worker placement).
+        """
+        self._trace_id = _hash_id("trace", seed)
+        self._spans.clear()
+        self._stack.clear()
+        self._child_counts.clear()
+        return self._trace_id
+
+    def reset(self) -> None:
+        """Drop all recorded state and return to the default trace."""
+        self.start_trace(0)
+        self._clock = lambda: 0.0
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a child span of whatever span is currently on the stack."""
+        if not self.enabled:
+            return self._null
+        parent = self._stack[-1] if self._stack else None
+        parent_id = parent.span_id if parent is not None else _ROOT
+        index = self._child_counts.get(parent_id, 0)
+        self._child_counts[parent_id] = index + 1
+        span = Span(
+            name=name,
+            trace_id=self._trace_id,
+            span_id=_hash_id(self._trace_id, parent_id, name, index),
+            parent_id=parent.span_id if parent is not None else None,
+            start_ms=self._clock(),
+            attrs=dict(attrs),
+        )
+        return _ActiveSpan(self, span)
+
+    # -- gather ---------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """The recorded (closed) spans, in completion order."""
+        return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all recorded spans (pool hand-off)."""
+        out = self._spans
+        self._spans = []
+        return out
+
+    def adopt(self, spans: list[Span]) -> None:
+        """Attach spans recorded elsewhere (a worker, a prior trace)."""
+        self._spans.extend(spans)
+
+
+__all__ = ["Span", "Tracer"]

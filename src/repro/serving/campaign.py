@@ -29,6 +29,7 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
 from repro.core.confidence import SuspicionTracker
 from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
 from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
@@ -37,6 +38,7 @@ from repro.fleet.machine import Machine
 from repro.fleet.product import CpuProduct
 from repro.fleet.scheduler import FleetScheduler, Task
 from repro.chaos import ChaosKind, ChaosSchedule
+from repro.obs.forensics import detection_latency_summary
 from repro.serving.robustness import (
     BreakerBoard,
     HardeningConfig,
@@ -106,6 +108,10 @@ class SloScorecard:
     ticks: int = 0
     quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
     latencies_ms: list[float] = dataclasses.field(default_factory=list)
+    #: ground truth: first tick each core demonstrably corrupted
+    first_corrupt_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: per-incident stage latencies (see repro.obs.forensics)
+    detection_latency_ms: dict = dataclasses.field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -184,6 +190,8 @@ class SloScorecard:
             "machine_checks": self.machine_checks,
             "breaker_trips": self.breaker_trips,
             "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+            "first_corrupt_tick": dict(sorted(self.first_corrupt_tick.items())),
+            "detection_latency_ms": self.detection_latency_ms,
         }
 
 
@@ -249,6 +257,47 @@ class ServingCampaign:
         self._burst_until = -1
         self._events_seen = 0
         self.responses: list[Response] = []
+
+        # Ground-truth corruption watcher.  Unconditional (not obs-gated)
+        # because the scorecard must be byte-identical with obs on or
+        # off: the forensics timeline is campaign bookkeeping, the obs
+        # layer only *also* exports it when enabled.
+        self._corruption_base = {
+            core_id: core.corruptions_induced
+            for core_id, core in self._core_by_id.items()
+        }
+        self._first_corrupt_tick: dict[str, int] = {}
+
+        self._now_ms = 0.0
+        self._obs_on = obs.enabled()
+        if self._obs_on:
+            obs.tracer.set_clock(lambda: self._now_ms)
+            self._m_requests = obs.metrics.counter(
+                "serving_requests_total",
+                help="terminal request outcomes, by client-visible status",
+                unit="requests",
+            )
+            self._h_latency = obs.metrics.histogram(
+                "serving_latency_ms",
+                help="end-to-end latency of OK responses (simulated)",
+                unit="ms",
+            )
+            self._m_escapes = obs.metrics.counter(
+                "serving_corrupt_escapes_total",
+                help="corrupt responses delivered as OK (ground truth)",
+                unit="responses",
+            )
+            self._m_caught = obs.metrics.counter(
+                "serving_corrupt_caught_total",
+                help="responses rejected by the e2e validator",
+                unit="responses",
+            )
+            self._m_quarantines = obs.metrics.counter(
+                "serving_quarantines_total",
+                help="cores pulled from the replica pool by the campaign "
+                     "policy loop",
+                unit="cores",
+            )
 
     # -- placement -----------------------------------------------------
 
@@ -347,6 +396,8 @@ class ServingCampaign:
         if self.validator is not None and expected_checksum is not None:
             if not self.validator.validate(expected_checksum, payload):
                 self.scorecard.corrupt_caught += 1
+                if self._obs_on:
+                    self._m_caught.inc()
                 self._emit(
                     now_ms, core_id, EventKind.APP_REPORT,
                     "e2e checksum mismatch",
@@ -511,14 +562,22 @@ class ServingCampaign:
         self._core_by_id[core_id].set_online(False)
         self.scorecard.quarantine_tick[core_id] = tick
         self._restore_at.pop(core_id, None)
+        if self._obs_on:
+            self._m_quarantines.inc()
+            with obs.tracer.span(
+                "serving.quarantine", core_id=core_id, tick=tick
+            ):
+                pass
 
     # -- the main loop -------------------------------------------------
 
     def run(self) -> SloScorecard:
         cfg = self.config
         card = self.scorecard
+        obs_on = self._obs_on
         for tick in range(cfg.ticks):
             now_ms = tick * cfg.tick_ms
+            self._now_ms = now_ms
             self._apply_chaos(tick)
 
             live = len(self.router.live_replicas())
@@ -551,10 +610,19 @@ class ServingCampaign:
             )
             for request in batch:
                 queue_wait = (tick - request.arrival_tick) * cfg.tick_ms
-                response = self._dispatch(request, now_ms, queue_wait)
+                if obs_on:
+                    with obs.tracer.span(
+                        "serving.request", request_id=request.request_id
+                    ) as sp:
+                        response = self._dispatch(request, now_ms, queue_wait)
+                        sp.attrs["status"] = response.status.value
+                        sp.attrs["attempts"] = response.n_attempts
+                else:
+                    response = self._dispatch(request, now_ms, queue_wait)
                 self.responses.append(response)
                 self._score(request, response)
 
+            self._note_corruptions(tick)
             self._run_policy(tick, now_ms)
 
         # Whatever is still queued at the end never got served.
@@ -564,17 +632,42 @@ class ServingCampaign:
         card.ticks = cfg.ticks
         if self.breakers:
             card.breaker_trips = self.breakers.total_trips
+        card.first_corrupt_tick = dict(sorted(self._first_corrupt_tick.items()))
+        card.detection_latency_ms = detection_latency_summary(
+            self._first_corrupt_tick, card.quarantine_tick,
+            list(self.events), cfg.tick_ms,
+        )
         return card
+
+    def _note_corruptions(self, tick: int) -> None:
+        """Record the first tick each core's corruption counter moved.
+
+        Ground-truth bookkeeping for the forensics timeline; runs
+        unconditionally so scorecards don't depend on REPRO_OBS.
+        """
+        base = self._corruption_base
+        for core_id, core in self._core_by_id.items():
+            induced = core.corruptions_induced
+            if induced != base[core_id]:
+                base[core_id] = induced
+                if core_id not in self._first_corrupt_tick:
+                    self._first_corrupt_tick[core_id] = tick
 
     def _score(self, request: Request, response: Response) -> None:
         card = self.scorecard
+        if self._obs_on:
+            self._m_requests.inc(status=response.status.value)
         if response.status is ResponseStatus.OK:
             card.ok += 1
             card.latencies_ms.append(response.latency_ms)
+            if self._obs_on:
+                self._h_latency.observe(response.latency_ms)
             # Ground truth (the experimenter's oracle, never the
             # service's): an echo service must return what it was sent.
             if response.payload != request.payload:
                 card.corrupt_escapes += 1
+                if self._obs_on:
+                    self._m_escapes.inc()
         elif response.status is ResponseStatus.TIMEOUT:
             card.timeouts += 1
         elif response.status is ResponseStatus.UNAVAILABLE:

@@ -119,6 +119,8 @@ class HedgePolicy:
 # ---------------------------------------------------------------------
 
 class BreakerState(enum.Enum):
+    """Per-core circuit breaker: closed (healthy) -> open -> half-open."""
+
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half_open"

@@ -30,6 +30,7 @@ import enum
 
 import numpy as np
 
+from repro import obs
 from repro.silicon.core import Core
 from repro.silicon.errors import CoreOfflineError, MachineCheckError
 from repro.workloads.copying import copy_bytes
@@ -123,6 +124,8 @@ class ServerReplica:
         #: chaos hook: force the next N requests to raise machine checks
         self.forced_mce_remaining = 0
         self.requests_served = 0
+        # cached so the per-request path pays one attribute test when off
+        self._obs_on = obs.enabled()
 
     @property
     def core_id(self) -> str:
@@ -146,6 +149,18 @@ class ServerReplica:
             MachineCheckError: a fail-noisy defect (or chaos) fired.
             CoreOfflineError: the core crashed or was quarantined.
         """
+        if not self._obs_on:
+            return self._serve_inner(request, rng)
+        with obs.tracer.span(
+            "serving.serve", replica=self.replica_id, core_id=self.core_id
+        ) as sp:
+            payload, latency = self._serve_inner(request, rng)
+            sp.attrs["latency_ms"] = latency
+            return payload, latency
+
+    def _serve_inner(
+        self, request: Request, rng: np.random.Generator
+    ) -> tuple[bytes, float]:
         latency = self.sample_latency_ms(rng)
         if self.forced_mce_remaining > 0:
             self.forced_mce_remaining -= 1

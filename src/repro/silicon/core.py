@@ -16,10 +16,33 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.silicon.defects import DefectModel, MachineCheckDefect
 from repro.silicon.environment import NOMINAL, OperatingPoint
 from repro.silicon.errors import CoreOfflineError, MachineCheckError
 from repro.silicon.golden import golden_call, golden_execute
+
+# Observability is touched only on the rare corruption / machine-check
+# branches — never on the per-op fast path, which stays exactly as the
+# BENCH_E1 baseline measured it.  Handles are module-level because Core
+# uses __slots__ and fleets hold hundreds of thousands of instances.
+_OBS_CORRUPTIONS: obs.Counter | None = None
+_OBS_MCES: obs.Counter | None = None
+
+
+def _obs_counters() -> tuple[obs.Counter, obs.Counter]:
+    global _OBS_CORRUPTIONS, _OBS_MCES
+    if _OBS_CORRUPTIONS is None:
+        _OBS_CORRUPTIONS = obs.metrics.counter(
+            "silicon_corruptions_total",
+            help="defect-induced wrong results (ground truth)", unit="ops",
+        )
+        _OBS_MCES = obs.metrics.counter(
+            "silicon_machine_checks_total",
+            help="fail-noisy defects that raised an MCE (ground truth)",
+            unit="events",
+        )
+    return _OBS_CORRUPTIONS, _OBS_MCES
 
 
 class Core:
@@ -134,9 +157,13 @@ class Core:
                 )
             except MachineCheckError:
                 self.machine_checks_raised += 1
+                if obs.metrics.enabled:
+                    _obs_counters()[1].inc()
                 raise
         if result != golden:
             self.corruptions_induced += 1
+            if obs.metrics.enabled:
+                _obs_counters()[0].inc()
         return result
 
     def golden(self, op: str, *operands):

@@ -213,6 +213,7 @@ def set_golden_cache(enabled: bool) -> None:
 
 
 def golden_cache_enabled() -> bool:
+    """Whether golden-result memoization is currently on."""
     return _cache_enabled
 
 
@@ -222,6 +223,7 @@ def golden_cache_info():
 
 
 def golden_cache_clear() -> None:
+    """Drop every memoized golden result (bench hygiene)."""
     _golden_cached.cache_clear()
 
 

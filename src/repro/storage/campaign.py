@@ -39,7 +39,9 @@ import dataclasses
 
 import numpy as np
 
+from repro import obs
 from repro.chaos import ChaosKind, ChaosSchedule
+from repro.obs.forensics import detection_latency_summary
 from repro.core.confidence import SuspicionTracker
 from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
 from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
@@ -178,6 +180,10 @@ class StorageScorecard:
     logical_bytes: int = 0
     physical_bytes: int = 0
     quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: ground truth: first tick each core demonstrably corrupted
+    first_corrupt_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: per-incident stage latencies (see repro.obs.forensics)
+    detection_latency_ms: dict = dataclasses.field(default_factory=dict)
 
     @property
     def escape_rate(self) -> float:
@@ -265,6 +271,8 @@ class StorageScorecard:
             "logical_bytes": self.logical_bytes,
             "physical_bytes": self.physical_bytes,
             "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+            "first_corrupt_tick": dict(sorted(self.first_corrupt_tick.items())),
+            "detection_latency_ms": self.detection_latency_ms,
         }
 
 
@@ -350,6 +358,48 @@ class StorageCampaign:
         self._events_seen = 0
         self._retired_physical_bytes = 0
 
+        # Ground-truth corruption watcher — unconditional, so the
+        # scorecard is byte-identical with obs on or off.
+        self._corruption_base = {
+            core_id: core.corruptions_induced
+            for core_id, core in self._core_by_id.items()
+        }
+        self._first_corrupt_tick: dict[str, int] = {}
+
+        self._obs_on = obs.enabled()
+        if self._obs_on:
+            obs.tracer.set_clock(lambda: self._tick * self.config.tick_ms)
+            self._m_writes = obs.metrics.counter(
+                "storage_writes_total",
+                help="client writes, by quorum outcome", unit="writes",
+            )
+            self._m_reads = obs.metrics.counter(
+                "storage_reads_total",
+                help="client reads, by quorum outcome", unit="reads",
+            )
+            self._m_escapes = obs.metrics.counter(
+                "storage_durable_escapes_total",
+                help="OK reads returning bytes differing from what the "
+                     "client wrote (ground truth)",
+                unit="reads",
+            )
+            self._m_repairs = obs.metrics.counter(
+                "storage_repairs_total",
+                help="verified read-repair / backfill writes", unit="repairs",
+            )
+            self._h_repair_latency = obs.metrics.histogram(
+                "storage_repair_latency_ms",
+                help="replica divergence to verified repair (simulated)",
+                unit="ms",
+                buckets=(10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0),
+            )
+            self._m_quarantines = obs.metrics.counter(
+                "storage_quarantines_total",
+                help="cores pulled from the replica set by the campaign "
+                     "policy loop",
+                unit="cores",
+            )
+
     # -- placement -----------------------------------------------------
 
     def _make_replica(self, core: Core) -> StorageReplica:
@@ -415,11 +465,14 @@ class StorageCampaign:
 
     def _on_repair(self, replica_id: str, key: str) -> None:
         self.scorecard.repairs_total += 1
+        if self._obs_on:
+            self._m_repairs.inc()
         since = self._divergent_since.pop((replica_id, key), None)
         if since is not None:
-            self.scorecard.repair_latency_ms.append(
-                (self._tick - since) * self.config.tick_ms
-            )
+            latency_ms = (self._tick - since) * self.config.tick_ms
+            self.scorecard.repair_latency_ms.append(latency_ms)
+            if self._obs_on:
+                self._h_repair_latency.observe(latency_ms)
 
     # -- chaos ---------------------------------------------------------
 
@@ -505,6 +558,8 @@ class StorageCampaign:
             card.encrypt_attempts += result.encrypt_attempts
             card.encrypt_verify_failures += result.encrypt_verify_failures
             card.machine_checks += result.machine_checks
+            if self._obs_on:
+                self._m_writes.inc(status="ok" if result.ok else "fail")
             if result.ok:
                 card.keys_written += 1
                 card.logical_bytes += len(value)
@@ -530,12 +585,16 @@ class StorageCampaign:
             )
             card.quorum_mismatches += result.quorum_mismatches
             card.machine_checks += result.machine_checks
+            if self._obs_on:
+                self._m_reads.inc(status="ok" if result.ok else "fail")
             if result.ok:
                 card.reads_ok += 1
                 # Ground truth the store never sees: did the client get
                 # back the bytes it wrote?
                 if result.value != self.truth[key]:
                     card.durable_escapes += 1
+                    if self._obs_on:
+                        self._m_escapes.inc()
             else:
                 card.read_failures += 1
 
@@ -628,6 +687,12 @@ class StorageCampaign:
         self._core_by_id[core_id].set_online(False)
         self.scorecard.quarantine_tick[core_id] = tick
         self._restore_at.pop(core_id, None)
+        if self._obs_on:
+            self._m_quarantines.inc()
+            with obs.tracer.span(
+                "storage.quarantine", core_id=core_id, tick=tick
+            ):
+                pass
 
     # -- the main loop -------------------------------------------------
 
@@ -639,9 +704,25 @@ class StorageCampaign:
             self._do_reads()
             self._maintenance(tick)
             self._monitor(tick)
+            self._note_corruptions(tick)
             self._run_policy(tick)
         self._finalize()
         return self.scorecard
+
+    def _note_corruptions(self, tick: int) -> None:
+        """Record the first tick each core's corruption counter moved.
+
+        Unconditional ground-truth bookkeeping (see the serving
+        campaign's twin): feeds the forensics timeline and the
+        scorecard's detection-latency fields.
+        """
+        base = self._corruption_base
+        for core_id, core in self._core_by_id.items():
+            induced = core.corruptions_induced
+            if induced != base[core_id]:
+                base[core_id] = induced
+                if core_id not in self._first_corrupt_tick:
+                    self._first_corrupt_tick[core_id] = tick
 
     def _finalize(self) -> None:
         card = self.scorecard
@@ -649,6 +730,11 @@ class StorageCampaign:
         card.lasting_divergence = len(self._divergent_since)
         card.physical_bytes = self._retired_physical_bytes + sum(
             replica.stats.physical_bytes for replica in self.store.replicas
+        )
+        card.first_corrupt_tick = dict(sorted(self._first_corrupt_tick.items()))
+        card.detection_latency_ms = detection_latency_summary(
+            self._first_corrupt_tick, card.quarantine_tick,
+            list(self.events), self.config.tick_ms,
         )
         self._audit_recoverability()
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.core.events import EventKind
 from repro.silicon.core import Core
 from repro.silicon.errors import CoreOfflineError, MachineCheckError
@@ -82,6 +83,8 @@ class StoreConfig:
 
 @dataclasses.dataclass
 class WriteResult:
+    """Outcome of one quorum write attempt."""
+
     ok: bool
     acks: int = 0
     encrypt_attempts: int = 0
@@ -92,6 +95,8 @@ class WriteResult:
 
 @dataclasses.dataclass
 class ReadResult:
+    """Outcome of one read: value, vote tallies, repairs triggered."""
+
     ok: bool
     value: bytes | None = None
     responses: int = 0
@@ -141,6 +146,8 @@ class ReplicatedKVStore:
         self.seqno = 0
         self._coord_cursor = 0
         self._read_cursor = 0
+        # cached so the per-op quorum paths pay one attribute test when off
+        self._obs_on = obs.enabled()
 
     # -- coordinator-side crypto ---------------------------------------
 
@@ -234,6 +241,15 @@ class ReplicatedKVStore:
 
     def put(self, key: str, value: bytes) -> WriteResult:
         """Quorum write of one (optionally encrypted) framed record."""
+        if not self._obs_on:
+            return self._put_inner(key, value)
+        with obs.tracer.span("storage.put", key=key) as sp:
+            result = self._put_inner(key, value)
+            sp.attrs["ok"] = result.ok
+            sp.attrs["acks"] = result.acks
+            return result
+
+    def _put_inner(self, key: str, value: bytes) -> WriteResult:
         result = WriteResult(ok=False)
         if self.config.encrypt:
             payload = self._encrypt_verified(value, result)
@@ -267,6 +283,15 @@ class ReplicatedKVStore:
 
     def get(self, key: str) -> ReadResult:
         """Voted quorum read (protected) or read-one (baseline)."""
+        if not self._obs_on:
+            return self._get_inner(key)
+        with obs.tracer.span("storage.get", key=key) as sp:
+            result = self._get_inner(key)
+            sp.attrs["ok"] = result.ok
+            sp.attrs["mismatches"] = result.quorum_mismatches
+            return result
+
+    def _get_inner(self, key: str) -> ReadResult:
         if self.config.vote_reads:
             return self._get_voted(key)
         return self._get_unchecked(key)

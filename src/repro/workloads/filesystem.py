@@ -34,6 +34,8 @@ class FsError(Exception):
 
 @dataclasses.dataclass
 class Inode:
+    """One file's metadata: name, size, block pointers, checksum."""
+
     name: str
     size: int
     block_pointers: list[int]

@@ -5,7 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.silicon.core import Core
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Keep the process-global obs registry from leaking across tests."""
+    yield
+    obs.metrics.reset()
+    obs.tracer.reset()
 
 
 @pytest.fixture

@@ -137,6 +137,57 @@ class TestJsonScorecards:
         assert first == second
 
 
+class TestMetricsCommand:
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["metrics", "e15"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serving_requests_total counter" in out
+        assert "# TYPE serving_latency_ms histogram" in out
+        assert 'serving_latency_ms_bucket{le="+Inf"}' in out
+
+    def test_metrics_json_output(self, capsys):
+        assert main(["metrics", "e16", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["storage_writes_total"]["kind"] == "counter"
+        assert payload["storage_repair_latency_ms"]["kind"] == "histogram"
+
+    def test_metrics_e1_source(self, capsys):
+        assert main(["metrics", "e1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fleet_ticks_total" in payload
+        assert "detection_confusion" in payload
+
+    def test_metrics_seed_is_reproducible(self, capsys):
+        assert main(["metrics", "e15", "--seed", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["metrics", "e15", "--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTraceCommand:
+    def test_trace_e15_prints_incident_timeline(self, capsys):
+        assert main(["trace", "e15"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption forensics" in out
+        assert "first corrupt op" in out
+        assert "quarantine decision" in out
+        assert "serving.request" in out
+
+    def test_trace_e16_prints_incident_timeline(self, capsys):
+        assert main(["trace", "e16"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption forensics" in out
+        assert "storage.put" in out
+
+    def test_trace_seed_is_reproducible(self, capsys):
+        assert main(["trace", "e15", "--seed", "2"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "e15", "--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestBenchCommand:
     def test_bench_writes_scorecards(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "1")
