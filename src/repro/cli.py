@@ -17,6 +17,8 @@ Usage::
     python -m repro metrics e15           # Prometheus-text metric dump
     python -m repro metrics e16 --format json   # JSON metric snapshot
     python -m repro trace e15             # corruption-forensics timeline
+    python -m repro lint                  # static invariant checks
+    python -m repro lint --json src       # machine-readable findings
 """
 
 from __future__ import annotations
@@ -102,9 +104,10 @@ def _run_one(experiment_id: str, scale: str, seed: int | None = None,
         experiment_id, scale, seed, runner, workers=workers, trials=trials
     )
     print(f"== {experiment_id}: {title} ==")
-    started = time.time()
+    # operator-facing elapsed display, not simulated time
+    started = time.time()    # repro: noqa-DET002 -- wall-clock UX only
     result = runner(**kwargs)
-    elapsed = time.time() - started
+    elapsed = time.time() - started    # repro: noqa-DET002 -- wall-clock UX only
     print(result["rendered"])
     print(f"[{elapsed:.1f}s]")
     return 0
@@ -365,8 +368,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_parser.add_argument(
         "--seed", type=int, default=None, help="campaign master seed",
     )
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the static invariant linter (AST rule pack + baseline)",
+    )
+    from repro.lint import cli as lint_cli
+
+    lint_cli.add_arguments(lint_parser)
 
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        return lint_cli.run(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "cases":

@@ -34,7 +34,8 @@ class SuspicionTracker:
             might well be CEEs", §6).
     """
 
-    def __init__(self, half_life_days: float = 30.0, source_bonus: float = 0.5):
+    def __init__(self, half_life_days: float = 30.0,
+                 source_bonus: float = 0.5) -> None:
         if half_life_days <= 0:
             raise ValueError("half_life_days must be positive")
         self.half_life_days = half_life_days

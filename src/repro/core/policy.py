@@ -80,7 +80,8 @@ class Decision:
 class QuarantinePolicy:
     """Stateful policy engine over suspicion scores and confessions."""
 
-    def __init__(self, config: PolicyConfig | None = None, fleet_cores: int = 1):
+    def __init__(self, config: PolicyConfig | None = None,
+                 fleet_cores: int = 1) -> None:
         self.config = config or PolicyConfig()
         self.fleet_cores = max(fleet_cores, 1)
         self.quarantined: set[str] = set()

@@ -85,7 +85,8 @@ class CoreComplaintService:
             stream shows up in Fig. 1's automated series.
     """
 
-    def __init__(self, n_cores_visible: int, event_log: EventLog | None = None):
+    def __init__(self, n_cores_visible: int,
+                 event_log: EventLog | None = None) -> None:
         if n_cores_visible <= 0:
             raise ValueError("need a positive visible-core population")
         self.n_cores_visible = n_cores_visible

@@ -71,7 +71,7 @@ class HumanTriageModel:
         p_confess_given_mercurial: float = 0.8,
         p_false_positive_signal: float = 0.15,
         investigation_days: tuple[float, float] = (2.0, 21.0),
-    ):
+    ) -> None:
         for name, p in (
             ("p_flag_given_core_incident", p_flag_given_core_incident),
             ("p_misattribute", p_misattribute),

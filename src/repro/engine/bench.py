@@ -118,7 +118,7 @@ def bench_build(scale: str, workers: int) -> BenchScorecard:
     )
 
 
-def _tick_timed_simulator_class():
+def _tick_timed_simulator_class() -> type:
     """Subclass that accumulates time spent inside the tick alone.
 
     The E1 sim run is dominated by shared downstream ingest (analyzer,
@@ -130,12 +130,12 @@ def _tick_timed_simulator_class():
     class TickTimed(FleetSimulator):
         tick_seconds = 0.0
 
-        def _tick_scalar(self, now, tick):
+        def _tick_scalar(self, now: float, tick: float) -> None:
             start = time.perf_counter()
             super()._tick_scalar(now, tick)
             self.tick_seconds += time.perf_counter() - start
 
-        def _tick_vectorized(self, now, tick):
+        def _tick_vectorized(self, now: float, tick: float) -> None:
             start = time.perf_counter()
             super()._tick_vectorized(now, tick)
             self.tick_seconds += time.perf_counter() - start

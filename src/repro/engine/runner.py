@@ -210,7 +210,7 @@ def run_trials(
     return results
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TrialEngine:
     """A configured handle on the pool, for callers that fan out twice.
 

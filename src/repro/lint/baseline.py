@@ -1,0 +1,93 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline maps :attr:`~repro.lint.findings.Finding.fingerprint`
+(path + rule + message — deliberately line-free, so entries survive
+edits elsewhere in the file) to an occurrence count.  ``repro lint``
+subtracts the baseline from the current findings; anything left is
+*new* and fails.  Shrinking is free (fixed findings just leave stale
+entries; ``--write-baseline`` garbage-collects them), growing requires
+an explicit ``--write-baseline`` — the ratchet only tightens.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: current on-disk schema version
+VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def count_fingerprints(findings: list[Finding]) -> dict[str, int]:
+    """Occurrence count per fingerprint, in sorted-key order."""
+    counts: collections.Counter[str] = collections.Counter(
+        finding.fingerprint for finding in findings
+    )
+    return dict(sorted(counts.items()))
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, diff-friendly)."""
+    payload = {"version": VERSION, "findings": count_fingerprints(findings)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load(path: Path) -> dict[str, int]:
+    """Read a baseline; raises :class:`BaselineError` on bad shape."""
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != VERSION
+        or not isinstance(payload.get("findings"), dict)
+    ):
+        raise BaselineError(
+            f"{path}: expected {{'version': {VERSION}, 'findings': "
+            "{...}}; regenerate with --write-baseline"
+        )
+    findings = payload["findings"]
+    for key, value in findings.items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise BaselineError(f"{path}: malformed entry {key!r}")
+    return dict(findings)
+
+
+def split_new(
+    findings: list[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, grandfathered) against a baseline.
+
+    For each fingerprint, the first ``baseline[fp]`` occurrences (in
+    report order, i.e. ascending line) are grandfathered; occurrences
+    beyond the baselined count are new.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        left = remaining.get(finding.fingerprint, 0)
+        if left > 0:
+            remaining[finding.fingerprint] = left - 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+__all__ = [
+    "BaselineError",
+    "VERSION",
+    "count_fingerprints",
+    "load",
+    "save",
+    "split_new",
+]

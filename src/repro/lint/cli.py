@@ -1,0 +1,150 @@
+"""``repro lint`` — the invariant gate's command-line face.
+
+Usage::
+
+    repro lint                         # src tests benchmarks scripts
+    repro lint src/repro/serving       # narrow to a subtree
+    repro lint --json                  # machine-readable findings
+    repro lint --write-baseline        # grandfather current findings
+    repro lint --no-baseline           # pretend the baseline is empty
+    repro lint --select DET001,API001  # one or a few rules
+    repro lint --list-rules            # the registered rule pack
+
+Exit status: 0 clean (every finding baselined or suppressed), 1 new
+findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.base import RULES, all_rules
+from repro.lint.engine import LintConfig, run_lint
+
+#: what ``repro lint`` scans when no paths are given
+DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks", "scripts")
+
+#: default baseline location (repo root, checked in)
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to a parser (shared with ``repro`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files or directories (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print structured findings instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _print_rules() -> int:
+    width = max(len(rule_id) for rule_id in RULES)
+    for rule in all_rules():
+        print(f"{rule.rule_id:<{width}}  [{rule.severity.value:<7}] "
+              f"{rule.title}")
+    return 0
+
+
+def _resolve_select(text: str | None) -> frozenset[str] | None:
+    if text is None:
+        return None
+    requested = frozenset(
+        part.strip().upper() for part in text.split(",") if part.strip()
+    )
+    unknown = sorted(requested - set(RULES))
+    if unknown:
+        known = ", ".join(sorted(RULES))
+        raise SystemExit(
+            f"repro lint: unknown rule(s) {', '.join(unknown)} "
+            f"(known: {known})"
+        )
+    return requested
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro lint`` invocation."""
+    if args.list_rules:
+        return _print_rules()
+    root = Path(args.root)
+    paths = list(args.paths) or [
+        p for p in DEFAULT_PATHS if (root / p).exists()
+    ]
+    missing = [p for p in paths if not (root / p).exists()
+               and not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    config = LintConfig(select=_resolve_select(args.select))
+    baseline_path = root / args.baseline
+    baseline: dict[str, int] | None = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = baseline_mod.load(baseline_path)
+            except baseline_mod.BaselineError as exc:
+                print(f"repro lint: {exc}", file=sys.stderr)
+                return 2
+
+    result = run_lint(paths, root=root, config=config, baseline=baseline)
+
+    if args.write_baseline:
+        baseline_mod.save(baseline_path, result.new)
+        print(
+            f"wrote {baseline_path} ({len(result.new)} finding(s) "
+            "grandfathered)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.json:
+        json.dump(result.to_json(), sys.stdout, indent=2, sort_keys=True)
+        print()
+        return result.exit_status
+
+    for finding in result.new:
+        print(finding.render())
+        if finding.hint:
+            print(f"    hint: {finding.hint}")
+    summary = (
+        f"{result.files_scanned} file(s) scanned: "
+        f"{len(result.new)} new, {len(result.grandfathered)} baselined, "
+        f"{result.suppressed} suppressed"
+    )
+    print(summary, file=sys.stderr)
+    return result.exit_status
+
+
+__all__ = ["DEFAULT_BASELINE", "DEFAULT_PATHS", "add_arguments", "run"]

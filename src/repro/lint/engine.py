@@ -1,0 +1,274 @@
+"""Lint engine: discovery, suppression, baselines, and the run loop.
+
+One :func:`run_lint` call walks the requested paths, parses each
+``*.py`` once, runs every registered file rule on each tree and every
+project rule once, applies ``# repro: noqa-RULE`` line suppressions
+and the baseline, and returns a :class:`LintResult` the CLI renders as
+text or JSON.
+
+Suppression syntax (the comment must sit on the reported line)::
+
+    started = time.time()   # repro: noqa-DET002 -- operator-facing UX
+    x = tricky()            # repro: noqa               (all rules)
+    y = both()              # repro: noqa-DET001,API001
+
+Everything after ``--`` in the comment is the tracking note; the
+linter requires no particular wording but CONTRIBUTING.md asks for
+one sentence on why the site is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.base import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    all_rules,
+)
+from repro.lint.findings import Finding, Severity, sort_findings
+
+#: rule id for files the parser itself rejects
+PARSE_RULE_ID = "LINT000"
+
+#: suppression comments: ``# repro: noqa`` / ``# repro: noqa-DET001,API001``
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?"
+)
+
+#: directories never descended into during discovery
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Tunable contract tables (defaults encode this repo's layout).
+
+    Attributes:
+        select: restrict to these rule ids (None = all registered).
+        wallclock_allowed: rel-path files (or ``dir/`` prefixes) where
+            DET002 permits host-clock reads — the benchmarking layer.
+        slots_modules: rel-path files whose dataclasses PERF001
+            requires to declare ``__slots__`` (the hot-path table).
+        events_path: module defining :class:`EventKind` (SAFE001).
+        weights_path: module defining ``SUSPICION_WEIGHTS`` (SAFE001).
+        obs_names_path: module declaring metric/span names (SAFE002).
+    """
+
+    select: frozenset[str] | None = None
+    wallclock_allowed: tuple[str, ...] = (
+        "src/repro/engine/bench.py",
+        "benchmarks/",
+    )
+    slots_modules: tuple[str, ...] = (
+        "src/repro/core/events.py",
+        "src/repro/engine/runner.py",
+        "src/repro/fleet/machine.py",
+        "src/repro/serving/service.py",
+        "src/repro/silicon/defects.py",
+        "src/repro/silicon/isa.py",
+        "src/repro/silicon/vm.py",
+        "src/repro/storage/wal.py",
+        "src/repro/workloads/base.py",
+    )
+    events_path: str = "src/repro/core/events.py"
+    weights_path: str = "src/repro/detection/weights.py"
+    obs_names_path: str = "src/repro/obs/names.py"
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Everything one invocation produced, pre-baseline-split."""
+
+    new: list[Finding]
+    grandfathered: list[Finding]
+    suppressed: int
+    files_scanned: int
+    baseline_used: bool
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sort_findings(self.new + self.grandfathered)
+
+    @property
+    def exit_status(self) -> int:
+        return 1 if self.new else 0
+
+    def to_json(self) -> dict[str, object]:
+        """The ``repro lint --json`` payload (schema pinned by tests)."""
+        def rows(findings: list[Finding], baselined: bool) -> list[dict]:
+            return [
+                dict(finding.to_json(), baselined=baselined)
+                for finding in findings
+            ]
+
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "baseline_used": self.baseline_used,
+            "new_count": len(self.new),
+            "baselined_count": len(self.grandfathered),
+            "suppressed_count": self.suppressed,
+            "findings": rows(sort_findings(self.new), False)
+            + rows(sort_findings(self.grandfathered), True),
+        }
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Line -> suppressed rule ids (None = all) from noqa comments."""
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                rule.strip() for rule in rules.split(",")
+            )
+    return table
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], source: str
+) -> tuple[list[Finding], int]:
+    table = _suppressions(source)
+    kept: list[Finding] = []
+    dropped = 0
+    for finding in findings:
+        suppressed_rules = table.get(finding.line, frozenset())
+        if suppressed_rules is None or finding.rule_id in suppressed_rules:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+def discover(paths: Iterable[Path], root: Path) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        resolved = path if path.is_absolute() else root / path
+        if resolved.is_file() and resolved.suffix == ".py":
+            files.add(resolved)
+        elif resolved.is_dir():
+            for candidate in resolved.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+    return sorted(files)
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _lint_one_file(
+    path: Path, rel: str, source: str, config: LintConfig,
+    project: ProjectContext, file_rules: list[FileRule],
+) -> tuple[list[Finding], int]:
+    """All (kept, suppressed-count) findings for one source file."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=PARSE_RULE_ID, path=rel,
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; no other rules ran on this file",
+            severity=Severity.ERROR,
+        )
+        return [finding], 0
+    ctx = FileContext(
+        path=path, rel_path=rel, tree=tree, source=source,
+        config=config, project=project,
+    )
+    findings: list[Finding] = []
+    for rule in file_rules:
+        if rule.src_only and not ctx.in_src():
+            continue
+        findings.extend(rule.check_file(ctx))
+    return _apply_suppressions(findings, source)
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    root: str | Path = ".",
+    config: LintConfig | None = None,
+    baseline: dict[str, int] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) relative to ``root``."""
+    root = Path(root)
+    config = config or LintConfig()
+    project = ProjectContext(root, config)
+    rules = list(all_rules(config.select))
+    file_rules = [r for r in rules if isinstance(r, FileRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    findings: list[Finding] = []
+    suppressed = 0
+    files = discover([Path(p) for p in paths], root)
+    for path in files:
+        rel = _rel_path(path, root)
+        kept, dropped = _lint_one_file(
+            path, rel, path.read_text(), config, project, file_rules
+        )
+        findings.extend(kept)
+        suppressed += dropped
+
+    for rule in project_rules:
+        findings.extend(rule.check_project(project))
+
+    findings = sort_findings(findings)
+    if baseline is not None:
+        new, grandfathered = baseline_mod.split_new(findings, baseline)
+    else:
+        new, grandfathered = findings, []
+    return LintResult(
+        new=new, grandfathered=grandfathered, suppressed=suppressed,
+        files_scanned=len(files), baseline_used=baseline is not None,
+    )
+
+
+def lint_source(
+    source: str,
+    rel_path: str = "src/repro/snippet.py",
+    config: LintConfig | None = None,
+    root: str | Path = ".",
+) -> list[Finding]:
+    """Lint one in-memory snippet (the unit-test entry point).
+
+    ``rel_path`` controls scoping (``src/``-only rules, DET002
+    allowlists, the PERF001 module table) exactly as a real file path
+    would; project rules do not run here.
+    """
+    config = config or LintConfig()
+    project = ProjectContext(Path(root), config)
+    file_rules = [
+        r for r in all_rules(config.select) if isinstance(r, FileRule)
+    ]
+    kept, _ = _lint_one_file(
+        Path(rel_path), rel_path, source, config, project, file_rules
+    )
+    return sort_findings(kept)
+
+
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "PARSE_RULE_ID",
+    "discover",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,105 @@
+"""Declared metric and span names: the observability interface registry.
+
+Every metric family and span name the framework emits through the
+:data:`repro.obs.metrics` / :data:`repro.obs.tracer` singletons is
+declared here as a constant.  The ``SAFE002`` lint rule statically
+cross-references each emission site's name literal against this module,
+so a typo'd name (``serving_request_total`` vs
+``serving_requests_total``) fails ``repro lint`` instead of silently
+shipping a metric no dashboard, alert, or OBSERVABILITY.md entry knows
+about.  The docs-coverage tests (``tests/test_docs.py``) close the
+other half of the loop: every name here that is actually emitted must
+appear in OBSERVABILITY.md.
+
+Adding a metric or span is therefore three edits, each machine-checked:
+declare the constant here, emit it at the call site, document it in
+OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+# -- metric families --------------------------------------------------
+
+SILICON_CORRUPTIONS_TOTAL = "silicon_corruptions_total"
+SILICON_MACHINE_CHECKS_TOTAL = "silicon_machine_checks_total"
+
+FLEET_TICKS_TOTAL = "fleet_ticks_total"
+FLEET_EVENTS_TOTAL = "fleet_events_total"
+FLEET_QUARANTINES_TOTAL = "fleet_quarantines_total"
+FLEET_DETECTION_LATENCY_DAYS = "fleet_detection_latency_days"
+
+TELEMETRY_MCE_RECORDS_TOTAL = "telemetry_mce_records_total"
+TELEMETRY_MCE_EVENTS_TOTAL = "telemetry_mce_events_total"
+TELEMETRY_CRASH_DUMPS_TOTAL = "telemetry_crash_dumps_total"
+
+DETECTION_CONFUSION = "detection_confusion"
+DETECTION_ISOLATIONS_TOTAL = "detection_isolations_total"
+
+SERVING_REQUESTS_TOTAL = "serving_requests_total"
+SERVING_LATENCY_MS = "serving_latency_ms"
+SERVING_CORRUPT_ESCAPES_TOTAL = "serving_corrupt_escapes_total"
+SERVING_CORRUPT_CAUGHT_TOTAL = "serving_corrupt_caught_total"
+SERVING_QUARANTINES_TOTAL = "serving_quarantines_total"
+
+STORAGE_WRITES_TOTAL = "storage_writes_total"
+STORAGE_READS_TOTAL = "storage_reads_total"
+STORAGE_DURABLE_ESCAPES_TOTAL = "storage_durable_escapes_total"
+STORAGE_REPAIRS_TOTAL = "storage_repairs_total"
+STORAGE_REPAIR_LATENCY_MS = "storage_repair_latency_ms"
+STORAGE_QUARANTINES_TOTAL = "storage_quarantines_total"
+
+# -- span names -------------------------------------------------------
+
+SPAN_ENGINE_TRIAL = "engine.trial"
+SPAN_DETECTION_QUARANTINE = "detection.quarantine"
+SPAN_SERVING_SERVE = "serving.serve"
+SPAN_SERVING_REQUEST = "serving.request"
+SPAN_SERVING_QUARANTINE = "serving.quarantine"
+SPAN_STORAGE_PUT = "storage.put"
+SPAN_STORAGE_GET = "storage.get"
+SPAN_STORAGE_QUARANTINE = "storage.quarantine"
+
+#: every declared metric family name
+METRIC_NAMES: frozenset[str] = frozenset({
+    SILICON_CORRUPTIONS_TOTAL,
+    SILICON_MACHINE_CHECKS_TOTAL,
+    FLEET_TICKS_TOTAL,
+    FLEET_EVENTS_TOTAL,
+    FLEET_QUARANTINES_TOTAL,
+    FLEET_DETECTION_LATENCY_DAYS,
+    TELEMETRY_MCE_RECORDS_TOTAL,
+    TELEMETRY_MCE_EVENTS_TOTAL,
+    TELEMETRY_CRASH_DUMPS_TOTAL,
+    DETECTION_CONFUSION,
+    DETECTION_ISOLATIONS_TOTAL,
+    SERVING_REQUESTS_TOTAL,
+    SERVING_LATENCY_MS,
+    SERVING_CORRUPT_ESCAPES_TOTAL,
+    SERVING_CORRUPT_CAUGHT_TOTAL,
+    SERVING_QUARANTINES_TOTAL,
+    STORAGE_WRITES_TOTAL,
+    STORAGE_READS_TOTAL,
+    STORAGE_DURABLE_ESCAPES_TOTAL,
+    STORAGE_REPAIRS_TOTAL,
+    STORAGE_REPAIR_LATENCY_MS,
+    STORAGE_QUARANTINES_TOTAL,
+})
+
+#: every declared span name
+SPAN_NAMES: frozenset[str] = frozenset({
+    SPAN_ENGINE_TRIAL,
+    SPAN_DETECTION_QUARANTINE,
+    SPAN_SERVING_SERVE,
+    SPAN_SERVING_REQUEST,
+    SPAN_SERVING_QUARANTINE,
+    SPAN_STORAGE_PUT,
+    SPAN_STORAGE_GET,
+    SPAN_STORAGE_QUARANTINE,
+})
+
+#: the full declared-name contract SAFE002 checks against
+DECLARED_NAMES: frozenset[str] = METRIC_NAMES | SPAN_NAMES
+
+__all__ = sorted(
+    name for name in dict(vars()) if name.isupper()
+)

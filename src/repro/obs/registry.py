@@ -62,7 +62,7 @@ class Metric:
     kind = "untyped"
 
     def __init__(self, registry: "MetricsRegistry", name: str,
-                 help: str = "", unit: str = ""):
+                 help: str = "", unit: str = "") -> None:
         self.registry = registry
         self.name = name
         self.help = help
@@ -93,7 +93,7 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
         if not self.registry.enabled:
             return
         if amount < 0:
@@ -101,7 +101,7 @@ class Counter(Metric):
         key = self._key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return float(self._series.get(_label_key(labels), 0.0))
 
 
@@ -110,18 +110,18 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         if not self.registry.enabled:
             return
         self._series[self._key(labels)] = float(value)
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
         if not self.registry.enabled:
             return
         key = self._key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return float(self._series.get(_label_key(labels), 0.0))
 
 
@@ -147,7 +147,7 @@ class Histogram(Metric):
 
     def __init__(self, registry: "MetricsRegistry", name: str,
                  help: str = "", unit: str = "",
-                 buckets: tuple[float, ...] | None = None):
+                 buckets: tuple[float, ...] | None = None) -> None:
         super().__init__(registry, name, help=help, unit=unit)
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         if not bounds:
@@ -163,7 +163,7 @@ class Histogram(Metric):
                 return index
         return len(self.buckets)
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: object) -> None:
         if not self.registry.enabled:
             return
         key = self._key(labels)
@@ -175,7 +175,7 @@ class Histogram(Metric):
         state.sum += value
         state.count += 1
 
-    def state(self, **labels) -> HistogramState | None:
+    def state(self, **labels: object) -> HistogramState | None:
         return self._series.get(_label_key(labels))
 
 
@@ -190,13 +190,13 @@ class MetricsRegistry:
 
     _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Metric] = {}
 
     # -- registration ---------------------------------------------------
 
-    def _get_or_create(self, cls: type, name: str, **kwargs) -> Metric:
+    def _get_or_create(self, cls: type, name: str, **kwargs: object) -> Metric:
         metric = self._metrics.get(name)
         if metric is not None:
             if not isinstance(metric, cls):

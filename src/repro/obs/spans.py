@@ -84,7 +84,12 @@ class _NullSpan:
         self.attrs: dict = {}
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
         return False
 
 
@@ -93,7 +98,7 @@ class _ActiveSpan:
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self._span = span
 
@@ -101,7 +106,12 @@ class _ActiveSpan:
         self._tracer._stack.append(self._span)
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
         span = self._span
         span.end_ms = self._tracer._clock()
         if exc is not None:
@@ -116,7 +126,7 @@ class _ActiveSpan:
 class Tracer:
     """Collects spans for the current process; one per obs singleton."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._spans: list[Span] = []
         self._stack: list[Span] = []
@@ -160,7 +170,7 @@ class Tracer:
 
     # -- recording ------------------------------------------------------
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> "_ActiveSpan | _NullSpan":
         """Open a child span of whatever span is currently on the stack."""
         if not self.enabled:
             return self._null

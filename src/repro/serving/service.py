@@ -55,7 +55,7 @@ class AttemptOutcome(enum.Enum):
     CORE_OFFLINE = "core_offline"      # crash / quarantine raced the RPC
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Request:
     """One client request.
 
@@ -72,7 +72,7 @@ class Request:
     arrival_tick: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Attempt:
     """One try at one replica."""
 
@@ -82,7 +82,7 @@ class Attempt:
     hedged: bool = False
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Response:
     """What the client ultimately observes for one request."""
 

@@ -81,7 +81,7 @@ def flip_bit(value: int, bit: int) -> int:
     return value ^ (1 << bit)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CorruptionRecord:
     """Ground-truth record of one induced corruption (for accounting)."""
 

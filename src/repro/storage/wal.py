@@ -34,7 +34,7 @@ def host_crc64(data: bytes) -> int:
     return crc
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class WalRecord:
     """One framed log record.
 
@@ -55,7 +55,7 @@ class WalRecord:
         return host_crc64(self.value) == self.crc
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ReplayReport:
     """What one recovery replay observed."""
 

@@ -37,7 +37,7 @@ class CoreLike(Protocol):
         ...
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class WorkloadResult:
     """Outcome of one unit of work.
 
@@ -131,7 +131,7 @@ def measure_op_mix(
     return counting.op_mix()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class OracleComparison:
     """Result of running identical work on suspect and reference cores."""
 

@@ -1,0 +1,530 @@
+"""Tests for the ``repro.lint`` invariant linter.
+
+Covers, per the PR-5 acceptance criteria:
+
+- positive *and* negative fixture snippets for every rule id;
+- ``# repro: noqa-RULE`` suppression semantics;
+- baseline round-trip (save -> load -> split) and the ratchet;
+- the ``--json`` output schema;
+- the meta-gate: ``repro lint src tests benchmarks scripts`` is clean
+  against the committed baseline (the same check CI runs).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import (
+    Finding,
+    LintConfig,
+    RULES,
+    Severity,
+    lint_source,
+    run_lint,
+)
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import PARSE_RULE_ID
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rule_ids(findings: list[Finding]) -> list[str]:
+    return [finding.rule_id for finding in findings]
+
+
+def lint_snippet(source: str, rel_path: str = "src/repro/snippet.py",
+                 **config_kwargs) -> list[Finding]:
+    config = LintConfig(**config_kwargs) if config_kwargs else None
+    return lint_source(
+        textwrap.dedent(source), rel_path=rel_path, config=config
+    )
+
+
+class TestDet001UnseededRandom:
+    def test_module_level_random_call_flagged(self):
+        findings = lint_snippet("""
+            import random
+            x = random.randint(0, 10)
+        """)
+        assert rule_ids(findings) == ["DET001"]
+        assert "hidden" in findings[0].message
+
+    def test_from_import_of_module_fn_flagged(self):
+        findings = lint_snippet("from random import shuffle\n")
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_legacy_numpy_random_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            x = np.random.rand(3)
+        """)
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_aliased_import_flagged(self):
+        findings = lint_snippet("""
+            import random as rnd
+            rnd.seed(0)
+        """)
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_seeded_generator_ok(self):
+        findings = lint_snippet("""
+            import numpy as np
+            rng = np.random.default_rng(7)
+            seq = np.random.SeedSequence(7)
+            x = rng.integers(0, 10)
+        """)
+        assert findings == []
+
+    def test_instance_random_ok(self):
+        # random.Random(seed) is explicit-state, not the module RNG
+        findings = lint_snippet("""
+            import random
+            r = random.Random(7)
+            x = r.randint(0, 10)
+        """)
+        assert findings == []
+
+
+class TestDet002WallClock:
+    def test_time_time_flagged(self):
+        findings = lint_snippet("""
+            import time
+            t = time.time()
+        """)
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_from_time_import_call_flagged(self):
+        findings = lint_snippet("""
+            from time import perf_counter
+            t = perf_counter()
+        """)
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint_snippet("""
+            import datetime
+            t = datetime.datetime.now()
+        """)
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_bench_module_allowed(self):
+        findings = lint_snippet(
+            "import time\nt = time.perf_counter()\n",
+            rel_path="src/repro/engine/bench.py",
+        )
+        assert findings == []
+
+    def test_benchmarks_dir_allowed(self):
+        findings = lint_snippet(
+            "import time\nt = time.time()\n",
+            rel_path="benchmarks/bench_x.py",
+        )
+        assert findings == []
+
+    def test_simulated_clock_ok(self):
+        findings = lint_snippet("""
+            def now_ms(tick, tick_ms):
+                return tick * tick_ms
+        """)
+        assert findings == []
+
+
+class TestDet003UnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        findings = lint_snippet("""
+            def f(out):
+                for x in {3, 1, 2}:
+                    out.append(x)
+        """)
+        assert rule_ids(findings) == ["DET003"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_list_of_set_call_flagged(self):
+        findings = lint_snippet("xs = list(set([3, 1, 2]))\n")
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_join_of_set_comp_flagged(self):
+        findings = lint_snippet(
+            "text = ','.join({str(x) for x in range(3)})\n"
+        )
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self):
+        findings = lint_snippet("ys = [x for x in set((1, 2))]\n")
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_sorted_set_ok(self):
+        findings = lint_snippet("""
+            def f(out):
+                for x in sorted({3, 1, 2}):
+                    out.append(x)
+                return sorted(set((2, 1)))
+        """)
+        assert findings == []
+
+    def test_order_insensitive_sinks_ok(self):
+        findings = lint_snippet("""
+            n = len(set((1, 2)))
+            total = sum({1, 2})
+            hit = 3 in {1, 2, 3}
+        """)
+        assert findings == []
+
+
+class TestSafe001WeightTable:
+    def _tree(self, tmp_path: Path, kinds: list[str], weighted: list[str]):
+        events = tmp_path / "events.py"
+        weights = tmp_path / "weights.py"
+        members = "\n".join(
+            f'    {kind} = "{kind.lower()}"' for kind in kinds
+        )
+        events.write_text(
+            "import enum\n\nclass EventKind(enum.Enum):\n" + members + "\n"
+        )
+        entries = "\n".join(
+            f"    EventKind.{kind}: SuspicionWeight(1.0, 'r'),"
+            for kind in weighted
+        )
+        weights.write_text(
+            "SUSPICION_WEIGHTS = {\n" + entries + "\n}\n"
+        )
+        return LintConfig(
+            events_path="events.py", weights_path="weights.py",
+        )
+
+    def test_missing_weight_flagged(self, tmp_path):
+        config = self._tree(tmp_path, ["CRASH", "NEW_KIND"], ["CRASH"])
+        result = run_lint([], root=tmp_path, config=config)
+        assert rule_ids(result.new) == ["SAFE001"]
+        assert "NEW_KIND" in result.new[0].message
+        assert result.new[0].path == "events.py"
+
+    def test_stale_weight_flagged(self, tmp_path):
+        config = self._tree(tmp_path, ["CRASH"], ["CRASH", "GONE"])
+        result = run_lint([], root=tmp_path, config=config)
+        assert rule_ids(result.new) == ["SAFE001"]
+        assert "stale" in result.new[0].message
+
+    def test_complete_table_clean(self, tmp_path):
+        config = self._tree(tmp_path, ["CRASH", "MCE"], ["CRASH", "MCE"])
+        result = run_lint([], root=tmp_path, config=config)
+        assert result.new == []
+
+    def test_real_repo_table_is_complete(self):
+        result = run_lint(
+            [], root=REPO, config=LintConfig(select=frozenset({"SAFE001"}))
+        )
+        assert result.new == []
+
+
+class TestSafe002DeclaredNames:
+    @pytest.fixture()
+    def config(self, tmp_path) -> tuple[LintConfig, Path]:
+        (tmp_path / "names.py").write_text(
+            'GOOD_TOTAL = "good_total"\nSPAN_OP = "engine.op"\n'
+        )
+        return LintConfig(obs_names_path="names.py"), tmp_path
+
+    def _lint(self, source: str, config: tuple[LintConfig, Path]):
+        cfg, root = config
+        return lint_source(
+            textwrap.dedent(source),
+            rel_path="src/repro/mod.py", config=cfg, root=root,
+        )
+
+    def test_undeclared_metric_flagged(self, config):
+        findings = self._lint("""
+            from repro import obs
+            obs.metrics.counter("typo_total").inc()
+        """, config)
+        assert rule_ids(findings) == ["SAFE002"]
+        assert "typo_total" in findings[0].message
+
+    def test_undeclared_span_flagged(self, config):
+        findings = self._lint("""
+            from repro import obs
+            with obs.tracer.span("engine.oops"):
+                pass
+        """, config)
+        assert rule_ids(findings) == ["SAFE002"]
+
+    def test_dynamic_name_flagged(self, config):
+        findings = self._lint("""
+            from repro import obs
+            def f(part):
+                obs.metrics.counter(f"{part}_total").inc()
+        """, config)
+        assert rule_ids(findings) == ["SAFE002"]
+        assert "dynamically" in findings[0].message
+
+    def test_declared_names_clean(self, config):
+        findings = self._lint("""
+            from repro import obs
+            obs.metrics.counter("good_total").inc()
+            with obs.tracer.span("engine.op"):
+                pass
+        """, config)
+        assert findings == []
+
+    def test_tests_are_out_of_scope(self, config):
+        cfg, root = config
+        findings = lint_source(
+            'from repro import obs\nobs.metrics.counter("scratch").inc()\n',
+            rel_path="tests/test_mod.py", config=cfg, root=root,
+        )
+        assert findings == []
+
+    def test_every_emitted_name_is_declared_in_repo(self):
+        result = run_lint(
+            ["src"], root=REPO,
+            config=LintConfig(select=frozenset({"SAFE002"})),
+        )
+        assert result.new == []
+
+
+class TestPerf001Slots:
+    CONFIG = dict(slots_modules=("src/repro/hot.py",))
+
+    def test_slotless_dataclass_in_hot_module_flagged(self):
+        findings = lint_snippet("""
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Record:
+                x: int
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert rule_ids(findings) == ["PERF001"]
+
+    def test_slots_kwarg_clean(self):
+        findings = lint_snippet("""
+            import dataclasses
+
+            @dataclasses.dataclass(frozen=True, slots=True)
+            class Record:
+                x: int
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert findings == []
+
+    def test_explicit_slots_clean(self):
+        findings = lint_snippet("""
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Record:
+                __slots__ = ("x",)
+                x: int
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert findings == []
+
+    def test_cold_module_not_required(self):
+        findings = lint_snippet("""
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Report:
+                x: int
+        """, rel_path="src/repro/cold.py", **self.CONFIG)
+        assert findings == []
+
+    def test_hot_table_modules_exist(self):
+        for rel in LintConfig().slots_modules:
+            assert (REPO / rel).is_file(), f"stale slots table entry {rel}"
+
+
+class TestApi001MutableDefaults:
+    def test_list_default_flagged(self):
+        findings = lint_snippet("def f(xs=[]):\n    return xs\n")
+        assert rule_ids(findings) == ["API001"]
+
+    def test_dict_call_default_flagged(self):
+        findings = lint_snippet("def f(m=dict()):\n    return m\n")
+        assert rule_ids(findings) == ["API001"]
+
+    def test_kwonly_and_lambda_defaults_flagged(self):
+        findings = lint_snippet("""
+            def f(*, acc={}):
+                return acc
+            g = lambda xs=[]: xs
+        """)
+        assert rule_ids(findings) == ["API001", "API001"]
+
+    def test_none_default_ok(self):
+        findings = lint_snippet("""
+            def f(xs=None, n=0, name="x", pair=(1, 2)):
+                return xs or []
+        """)
+        assert findings == []
+
+
+class TestSuppressions:
+    SOURCE = """
+        import time
+        t = time.time()  # repro: noqa-DET002 -- operator display only
+    """
+
+    def test_noqa_rule_suppresses(self):
+        assert lint_snippet(self.SOURCE) == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        source = "import time\nt = time.time()  # repro: noqa-DET001\n"
+        assert rule_ids(lint_snippet(source)) == ["DET002"]
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = "import time\nt = time.time()  # repro: noqa\n"
+        assert lint_snippet(source) == []
+
+    def test_noqa_on_other_line_does_not_leak(self):
+        source = (
+            "import time  # repro: noqa-DET002\n"
+            "t = time.time()\n"
+        )
+        assert rule_ids(lint_snippet(source)) == ["DET002"]
+
+    def test_suppressed_count_reported(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import time\nt = time.time()  # repro: noqa-DET002\n"
+        )
+        result = run_lint(["mod.py"], root=tmp_path)
+        assert result.suppressed == 1
+        assert result.new == []
+
+
+class TestBaseline:
+    def _findings(self, tmp_path: Path):
+        (tmp_path / "mod.py").write_text(
+            "import time\na = time.time()\nb = time.time()\n"
+        )
+        return run_lint(["mod.py"], root=tmp_path).new
+
+    def test_round_trip(self, tmp_path):
+        findings = self._findings(tmp_path)
+        path = tmp_path / "baseline.json"
+        baseline_mod.save(path, findings)
+        loaded = baseline_mod.load(path)
+        assert loaded == baseline_mod.count_fingerprints(findings)
+        new, grandfathered = baseline_mod.split_new(findings, loaded)
+        assert new == [] and len(grandfathered) == 2
+
+    def test_ratchet_catches_third_occurrence(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = baseline_mod.count_fingerprints(findings)
+        (tmp_path / "mod.py").write_text(
+            "import time\na = time.time()\nb = time.time()\n"
+            "c = time.time()\n"
+        )
+        result = run_lint(["mod.py"], root=tmp_path, baseline=baseline)
+        assert len(result.grandfathered) == 2
+        assert len(result.new) == 1
+        assert result.exit_status == 1
+
+    def test_fixed_findings_shrink_quietly(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = baseline_mod.count_fingerprints(findings)
+        (tmp_path / "mod.py").write_text("import time\n")
+        result = run_lint(["mod.py"], root=tmp_path, baseline=baseline)
+        assert result.new == [] and result.exit_status == 0
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(baseline_mod.BaselineError):
+            baseline_mod.load(path)
+
+
+class TestCliAndJson:
+    def _write_bad(self, tmp_path: Path) -> Path:
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        return bad
+
+    def test_gate_fails_on_seeded_violation(self, tmp_path, capsys):
+        bad = self._write_bad(tmp_path)
+        status = repro_main(
+            ["lint", str(bad), "--root", str(tmp_path), "--no-baseline"]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "hint:" in out
+
+    def test_json_schema(self, tmp_path, capsys):
+        self._write_bad(tmp_path)
+        status = repro_main(
+            ["lint", "bad.py", "--root", str(tmp_path), "--json",
+             "--no-baseline"]
+        )
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["new_count"] == 1
+        assert payload["baseline_used"] is False
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col", "message",
+            "hint", "baselined",
+        }
+        assert finding["rule"] == "DET002"
+        assert finding["path"] == "bad.py"
+        assert finding["line"] == 2
+        assert finding["baselined"] is False
+
+    def test_write_then_gate_green(self, tmp_path, capsys):
+        self._write_bad(tmp_path)
+        assert repro_main(
+            ["lint", "bad.py", "--root", str(tmp_path), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert repro_main(
+            ["lint", "bad.py", "--root", str(tmp_path)]
+        ) == 0
+        payload = json.loads((tmp_path / "lint-baseline.json").read_text())
+        assert payload["version"] == 1 and len(payload["findings"]) == 1
+
+    def test_unknown_path_is_usage_error(self, tmp_path):
+        assert repro_main(
+            ["lint", "nope.py", "--root", str(tmp_path)]
+        ) == 2
+
+    def test_select_unknown_rule_exits(self, tmp_path):
+        self._write_bad(tmp_path)
+        with pytest.raises(SystemExit):
+            repro_main(
+                ["lint", "bad.py", "--root", str(tmp_path),
+                 "--select", "NOPE999"]
+            )
+
+    def test_list_rules_covers_rule_pack(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = run_lint(["broken.py"], root=tmp_path)
+        assert rule_ids(result.new) == [PARSE_RULE_ID]
+
+
+class TestMetaGate:
+    def test_rule_pack_has_required_families(self):
+        families = {rule_id[:-3] for rule_id in RULES}
+        assert {"DET", "SAFE", "PERF", "API"} <= families
+        assert len(RULES) >= 7
+
+    def test_repo_is_clean_against_committed_baseline(self):
+        baseline_path = REPO / "lint-baseline.json"
+        assert baseline_path.is_file(), "lint-baseline.json must be committed"
+        baseline = baseline_mod.load(baseline_path)
+        result = run_lint(
+            ["src", "tests", "benchmarks", "scripts"],
+            root=REPO, baseline=baseline,
+        )
+        rendered = "\n".join(f.render() for f in result.new)
+        assert result.new == [], f"new lint findings:\n{rendered}"
+        assert result.files_scanned > 150
