@@ -1,0 +1,57 @@
+"""E17 — serve at scale: the prevalence × mitigation-spend grid."""
+
+from benchmarks.conftest import is_ci_scale
+
+from repro.analysis.experiments import run_serve_at_scale
+
+
+def test_e17_serve_scale(benchmark, show):
+    ticks = 200 if is_ci_scale() else 600
+    result = benchmark.pedantic(
+        run_serve_at_scale, kwargs=dict(ticks=ticks), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+
+    # The trusting baseline delivers corrupt bytes as fresh OK at every
+    # prevalence level, and more prevalence means more corruption.
+    base_escapes = [
+        result["grid"][key]["baseline"].corrupt_escapes
+        for key in result["prevalences"]
+    ]
+    assert all(n > 0 for n in base_escapes)
+    assert base_escapes == sorted(base_escapes)
+
+    # Hedging + budgeted retries + breakers hold user-visible corruption
+    # at zero across the whole grid...
+    assert result["hardening_wins"]
+    for key in result["prevalences"]:
+        comp = result["comparisons"][key]
+        assert comp["escape_rate_full"] == 0.0
+        assert comp["escape_rate_retries_breakers"] == 0.0
+        assert comp["escape_rate_baseline"] > 0.0
+        # ...while the full stack also *improves* the tail: hedges cut
+        # the straggler tail the baseline eats raw.
+        assert comp["p99_cost"] < 3.0
+        assert comp["p999_cost"] < 3.0
+
+    # Availability accounting: the baseline's "availability" includes
+    # the corrupt responses it silently served, so compare on ground
+    # truth — correct fresh responses per arrival, and answered rate
+    # (fresh + labelled-stale) per arrival.  Full wins both everywhere.
+    for key in result["prevalences"]:
+        base = result["grid"][key]["baseline"]
+        full = result["grid"][key]["full"]
+        assert (
+            full.valid_ok / full.total_arrivals
+            > base.valid_ok / base.total_arrivals
+        )
+        assert full.answered_rate > base.answered_rate
+
+    # The degradation ladder and hedging actually engaged somewhere in
+    # the grid (this is a robustness bench, not a quiet one).
+    full_cards = [
+        result["grid"][key]["full"] for key in result["prevalences"]
+    ]
+    assert any(card.hedges > 0 for card in full_cards)
+    assert any(card.degraded_ticks for card in full_cards)
+    assert all(card.quarantine_tick for card in full_cards)

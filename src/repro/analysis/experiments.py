@@ -51,7 +51,11 @@ from repro.serving import (
     CampaignConfig,
     ChaosSchedule,
     HardeningConfig,
+    ScaleConfig,
+    ScaleHardening,
+    ServeScaleCampaign,
     ServingCampaign,
+    build_scale_fleet,
     build_serving_fleet,
 )
 from repro.storage import (
@@ -1378,6 +1382,162 @@ def run_storage_under_cee(
     }
 
 
+# ---------------------------------------------------------------------
+# E17 — serve at scale: sharded cluster across a prevalence × spend grid
+# ---------------------------------------------------------------------
+
+#: the E17 mitigation-spend ladder, cheapest first
+SCALE_ARMS: tuple[str, ...] = ("baseline", "retries_breakers", "full")
+
+
+def _scale_cell(
+    cell: tuple[float, str],
+    *,
+    ticks: int,
+    n_machines: int,
+    cores_per_machine: int,
+    defect_rate: float,
+    seed: int,
+) -> tuple[float, str, "ScaleScorecard", int]:
+    """Run one (prevalence, hardening) E17 cell; module-level so the
+    pool can pickle it.
+
+    Fleet and campaign seeds depend only on the campaign seed and the
+    prevalence — every hardening arm at one prevalence faces the
+    *identical* fleet, traffic and chaos script, and a cell's scorecard
+    is byte-identical regardless of which worker runs it.
+    """
+    prevalence, arm_name = cell
+    machines, bad_core_ids = build_scale_fleet(
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        prevalence=prevalence,
+        base_rate=defect_rate,
+        seed=seed + 7,
+    )
+    campaign = ServeScaleCampaign(
+        machines,
+        ScaleConfig(ticks=ticks),
+        getattr(ScaleHardening, arm_name)(),
+        seed=seed + 3,
+    )
+    # Chaos targets must be cores that actually host replicas: the
+    # whole of shard 0 crashes (shard loss), and two of shard 1's
+    # healthy cores eat the machine-check storm (breaker storm).
+    shards = campaign.cluster.shards
+    shard_loss = [r.core_id for r in shards[0].router.replicas]
+    storm = [
+        r.core_id for r in shards[1 % len(shards)].router.replicas
+        if r.core_id not in bad_core_ids
+    ][:2]
+    campaign.chaos = ChaosSchedule.serve_scale(
+        bad_core_ids, shard_loss, storm, ticks
+    )
+    campaign.run()
+    return prevalence, arm_name, campaign.scorecard, len(bad_core_ids)
+
+
+def run_serve_at_scale(
+    ticks: int = 600,
+    n_machines: int = 4,
+    cores_per_machine: int = 4,
+    defect_rate: float = 0.05,
+    prevalences: tuple[float, ...] = (0.1, 0.2, 0.4),
+    seed: int = 0,
+    workers: int | None = None,
+) -> dict:
+    """E17: the sharded serve-at-scale runtime across a mercurial-
+    prevalence × mitigation-spend grid.
+
+    Open-loop ramped traffic (user cohorts, stable route keys) drives a
+    consistent-hash sharded cluster through the E17 chaos script —
+    staggered multi-core defect activation, a whole-shard crash, a
+    breaker storm, a traffic burst — at each prevalence level, under
+    three spend levels:
+
+    - **baseline** — round-robin, trust every response;
+    - **retries_breakers** — e2e validation, token-bucket retry
+      budgets with backoff + jitter, per-shard circuit breakers;
+    - **full** — adds tail hedging, the shed → serve-stale →
+      fail-closed degradation ladder, and utilization autoscaling.
+
+    Expected shape: at every prevalence, hedging + budgeted retries cut
+    user-visible corruption (escape rate) versus baseline, with the
+    latency bill quantified at p99/p99.9.
+    """
+    cells = [
+        (prevalence, arm) for prevalence in prevalences for arm in SCALE_ARMS
+    ]
+    cell_fn = functools.partial(
+        _scale_cell,
+        ticks=ticks,
+        n_machines=n_machines,
+        cores_per_machine=cores_per_machine,
+        defect_rate=defect_rate,
+        seed=seed,
+    )
+    results = run_tasks(cell_fn, cells, workers=workers)
+
+    grid: dict[str, dict] = {}
+    n_bad_by_prevalence: dict[str, int] = {}
+    for prevalence, arm_name, card, n_bad in results:
+        key = f"{prevalence:g}"
+        grid.setdefault(key, {})[arm_name] = card
+        n_bad_by_prevalence[key] = n_bad
+
+    rows = []
+    comparisons: dict[str, dict] = {}
+    for prevalence in prevalences:
+        key = f"{prevalence:g}"
+        cards = grid[key]
+        for arm_name in SCALE_ARMS:
+            rows.append([key] + cards[arm_name].summary_row())
+        base, full = cards["baseline"], cards["full"]
+        comparisons[key] = {
+            "n_bad_cores": n_bad_by_prevalence[key],
+            "escape_rate_baseline": base.escape_rate,
+            "escape_rate_retries_breakers":
+                cards["retries_breakers"].escape_rate,
+            "escape_rate_full": full.escape_rate,
+            "escape_reduction": (
+                math.inf if full.escape_rate == 0.0
+                else base.escape_rate / full.escape_rate
+            ),
+            "p99_cost": full.p99_latency_ms / max(base.p99_latency_ms, 1e-9),
+            "p999_cost":
+                full.p999_latency_ms / max(base.p999_latency_ms, 1e-9),
+            "availability_baseline": base.availability,
+            "availability_full": full.availability,
+        }
+
+    hardening_wins = all(
+        comp["escape_rate_full"] <= comp["escape_rate_baseline"]
+        for comp in comparisons.values()
+    )
+    rendered = render_table(
+        ["prev", "config", "escape", "avail", "p50", "p99 ms", "p99.9 ms",
+         "stale", "failclosed", "hedges", "budget-exh", "quarantined"],
+        rows,
+        title=f"E17: serve at scale ({ticks} ticks, chaos on)",
+    ) + "".join(
+        f"\nprev {key}: escape "
+        f"{comp['escape_rate_baseline']:.3%} -> "
+        f"{comp['escape_rate_full']:.3%} "
+        f"(p99 cost {comp['p99_cost']:.2f}x, "
+        f"p99.9 cost {comp['p999_cost']:.2f}x, "
+        f"{comp['n_bad_cores']} bad cores)"
+        for key, comp in comparisons.items()
+    )
+    return {
+        "grid": grid,
+        "comparisons": comparisons,
+        "prevalences": [f"{p:g}" for p in prevalences],
+        "arms": list(SCALE_ARMS),
+        "hardening_wins": hardening_wins,
+        "rendered": rendered,
+    }
+
+
 #: registry mapping experiment id → (title, runner)
 EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "F1": ("Fig. 1: reported CEE rates (normalized)", run_fig1),
@@ -1397,4 +1557,6 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "E14": ("Aging: onset and escalation", run_aging),
     "E15": ("Serving under CEE: chaos campaign", run_serving_under_cee),
     "E16": ("Storage under CEE: durable-path chaos", run_storage_under_cee),
+    "E17": ("Serve at scale: prevalence × mitigation-spend grid",
+            run_serve_at_scale),
 }

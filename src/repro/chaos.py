@@ -132,6 +132,64 @@ class ChaosSchedule:
         )
 
     @classmethod
+    def serve_scale(
+        cls,
+        bad_core_ids: list[str],
+        shard_core_ids: list[str],
+        storm_core_ids: list[str],
+        ticks: int,
+        onset_age_days: float = 400.0,
+    ) -> "ChaosSchedule":
+        """The E17 serve-at-scale script: shard loss + breaker storm.
+
+        Every mercurial core's late-onset defect activates a quarter of
+        the way in (staggered by a few ticks so trips don't all land on
+        one tick).  At the halfway mark an entire shard's cores crash
+        at once (shard loss — the cluster must absorb the capacity hole
+        or degrade gracefully); at 5/8 a machine-check storm hammers
+        several healthy cores in quick succession (a breaker storm: many
+        boards trip close together, which is what drives the
+        degradation ladder); and a 3× traffic burst lands in the final
+        quarter on top of whatever capacity is left.
+        """
+        actions = [
+            ChaosAction(
+                at_tick=ticks // 4 + 3 * index,
+                kind=ChaosKind.ACTIVATE_DEFECT,
+                core_id=core_id,
+                magnitude=onset_age_days,
+            )
+            for index, core_id in enumerate(bad_core_ids)
+        ]
+        actions += [
+            ChaosAction(
+                at_tick=ticks // 2,
+                kind=ChaosKind.CRASH_CORE,
+                core_id=core_id,
+                duration_ticks=max(6, ticks // 10),
+            )
+            for core_id in shard_core_ids
+        ]
+        actions += [
+            ChaosAction(
+                at_tick=(ticks * 5) // 8 + index,
+                kind=ChaosKind.MACHINE_CHECK_BURST,
+                core_id=core_id,
+                magnitude=4.0,
+            )
+            for index, core_id in enumerate(storm_core_ids)
+        ]
+        actions.append(
+            ChaosAction(
+                at_tick=(ticks * 3) // 4,
+                kind=ChaosKind.TRAFFIC_BURST,
+                magnitude=3.0,
+                duration_ticks=max(8, ticks // 8),
+            )
+        )
+        return cls(actions)
+
+    @classmethod
     def storage_standard(
         cls,
         bad_core_id: str,

@@ -6,6 +6,7 @@ Usage::
     python -m repro run E3                # one experiment, rendered
     python -m repro run F1 --scale ci     # the figure, at smoke scale
     python -m repro run E15 --seed 7      # reproducible from the shell
+    python -m repro run E17 --scale ci    # serve-at-scale grid, smoke scale
     python -m repro run all --scale ci    # everything (slow at full scale)
     python -m repro serve                 # the E15 chaos campaign, CI scale
     python -m repro serve --json          # machine-readable SLO scorecards
@@ -13,6 +14,7 @@ Usage::
     python -m repro store --json          # machine-readable durability scorecards
     python -m repro cases                 # the §2 named defect case studies
     python -m repro bench --scale ci      # perf scorecards -> BENCH_<ID>.json
+    python -m repro bench serve-scale     # the E17 grid -> BENCH_E17.json
     python -m repro run E1 --trials 8 --workers 4   # parallel Monte-Carlo
     python -m repro metrics e15           # Prometheus-text metric dump
     python -m repro metrics e16 --format json   # JSON metric snapshot
@@ -46,6 +48,7 @@ _CI_KWARGS: dict[str, dict] = {
     "E11": dict(n_units=15),
     "E15": dict(ticks=250),
     "E16": dict(ticks=200),
+    "E17": dict(ticks=200),
 }
 
 #: campaign experiments with ``--json`` scorecard output: experiment id
@@ -279,7 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("cases", help="screen the §2 named defect cases")
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
-        "experiment", help="experiment ID (F1, E1..E16) or 'all'"
+        "experiment", help="experiment ID (F1, E1..E17) or 'all'"
     )
     run_parser.add_argument(
         "--scale", choices=("full", "ci"), default="full",

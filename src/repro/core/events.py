@@ -33,6 +33,10 @@ class EventKind(enum.Enum):
     SCRUB_MISMATCH = "scrub_mismatch"             # background scrub divergence
     QUORUM_MISMATCH = "quorum_mismatch"           # voted read disagreement
     ENCRYPT_VERIFY_FAIL = "encrypt_verify_fail"   # decrypt-elsewhere check
+    HEDGE_FIRED = "hedge_fired"                   # tail-latency hedge issued
+    RETRY_BUDGET_EXHAUSTED = "retry_budget_exhausted"  # retry tokens drained
+    SHARD_DEGRADED = "shard_degraded"             # shard entered a degraded tier
+    AUTOSCALE_ACTION = "autoscale_action"         # replica added or drained
 
 
 class Reporter(enum.Enum):

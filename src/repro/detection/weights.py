@@ -115,6 +115,32 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         "tool-chain sanitizer hits are usually genuine software bugs; "
         "the weakest automatable signal",
     ),
+    EventKind.RETRY_BUDGET_EXHAUSTED: SuspicionWeight(
+        0.6,
+        "a shard drained its retry tokens: an aggregate of many failed "
+        "attempts, but overload and chaos produce the same symptom, so "
+        "per-core blame is thin — the per-attempt failures already "
+        "carry their own heavier signals",
+    ),
+    EventKind.HEDGE_FIRED: SuspicionWeight(
+        0.3,
+        "the primary attempt looked slow enough to duplicate; latency "
+        "tails are overwhelmingly benign stragglers, but §2 notes some "
+        "mercurial cores compute *slowly* — only core-concentrated "
+        "repeats matter",
+    ),
+    EventKind.SHARD_DEGRADED: SuspicionWeight(
+        0.2,
+        "a shard fell into a degradation tier (shed / serve-stale / "
+        "fail-closed); cluster-level symptom with no core attribution "
+        "of its own — kept for forensics timelines, near-zero evidence",
+    ),
+    EventKind.AUTOSCALE_ACTION: SuspicionWeight(
+        0.1,
+        "the autoscaler added or drained a replica; an operational "
+        "breadcrumb recorded so capacity changes appear in the event "
+        "timeline, not hardware evidence",
+    ),
 }
 
 

@@ -315,6 +315,87 @@ def bench_e16(scale: str, workers: int) -> BenchScorecard:
     )
 
 
+def bench_serve_scale(scale: str, workers: int) -> BenchScorecard:
+    """E17 serve-at-scale grid: serial vs engine fan-out, plus the
+    worker-count invariance gate.
+
+    Runs the full prevalence × mitigation-spend grid twice — once with
+    ``workers=1`` (the timing baseline) and once fanned out — and
+    fingerprints both result grids.  The fingerprints must match: a
+    same-seed E17 scorecard is bit-identical no matter how many workers
+    ran it, so the speedup is pure scheduling, never a semantic drift.
+    The committed card also carries the headline grid numbers (escape
+    rates and p99/p99.9 latency per arm) so the EXPERIMENTS.md claims
+    are pinned to a measured artifact.
+    """
+    import hashlib
+    import math
+
+    from repro.analysis.experiments import run_serve_at_scale
+
+    ticks = 200 if scale == "ci" else 600
+    prevalences = (0.1, 0.2, 0.4)
+
+    def fingerprint(result: dict) -> str:
+        payload = {
+            prevalence: {arm: card.to_json() for arm, card in arms.items()}
+            for prevalence, arms in result["grid"].items()
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
+    baseline_s, serial = _timed(
+        lambda: run_serve_at_scale(
+            ticks=ticks, prevalences=prevalences, workers=1
+        )
+    )
+    wall_s, fanned = _timed(
+        lambda: run_serve_at_scale(
+            ticks=ticks, prevalences=prevalences, workers=workers
+        )
+    )
+    serial_fp = fingerprint(serial)
+    fanned_fp = fingerprint(fanned)
+
+    def finite(value: float) -> float | None:
+        return None if math.isinf(value) else value
+
+    comparisons = {
+        key: {
+            name: (finite(v) if isinstance(v, float) else v)
+            for name, v in comp.items()
+        }
+        for key, comp in fanned["comparisons"].items()
+    }
+    arms = len(fanned["arms"]) * len(prevalences)
+    total_ticks = arms * ticks
+    return BenchScorecard(
+        bench_id="e17",
+        title="E17 serve-at-scale grid (serial vs engine, invariance-gated)",
+        scale=scale,
+        workers=workers,
+        wall_s=wall_s,
+        baseline_wall_s=baseline_s,
+        speedup=baseline_s / max(wall_s, 1e-9),
+        trials=arms,
+        trials_per_s=arms / max(wall_s, 1e-9),
+        ticks=total_ticks,
+        ticks_per_s=total_ticks / max(wall_s, 1e-9),
+        baseline_ticks_per_s=total_ticks / max(baseline_s, 1e-9),
+        tick_speedup=baseline_s / max(wall_s, 1e-9),
+        metrics={
+            "ticks_per_cell": ticks,
+            "prevalences": [f"{p:g}" for p in prevalences],
+            "arms": list(fanned["arms"]),
+            "comparisons": comparisons,
+            "hardening_wins": fanned["hardening_wins"],
+            "worker_invariant": serial_fp == fanned_fp,
+            "grid_fingerprint": fanned_fp,
+        },
+    )
+
+
 def bench_obs(scale: str, workers: int) -> BenchScorecard:
     """Observability overhead: REPRO_OBS=off must be (nearly) free.
 
@@ -398,6 +479,7 @@ BENCHMARKS: dict[str, tuple[str, Callable[[str, int], BenchScorecard]]] = {
     "e1": ("E1 incidence: serial legacy vs engine", bench_e1),
     "e15": ("E15 serving campaign: uncached serial vs engine", bench_e15),
     "e16": ("E16 storage campaign: uncached serial vs engine", bench_e16),
+    "serve-scale": ("E17 serve-at-scale grid: serial vs engine", bench_serve_scale),
     "obs": ("Observability overhead: off-mode A/A vs on", bench_obs),
 }
 

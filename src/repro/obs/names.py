@@ -40,6 +40,12 @@ SERVING_LATENCY_MS = "serving_latency_ms"
 SERVING_CORRUPT_ESCAPES_TOTAL = "serving_corrupt_escapes_total"
 SERVING_CORRUPT_CAUGHT_TOTAL = "serving_corrupt_caught_total"
 SERVING_QUARANTINES_TOTAL = "serving_quarantines_total"
+SERVING_HEDGES_TOTAL = "serving_hedges_total"
+SERVING_RETRIES_TOTAL = "serving_retries_total"
+SERVING_RETRY_BUDGET_EXHAUSTED_TOTAL = "serving_retry_budget_exhausted_total"
+SERVING_STALE_SERVED_TOTAL = "serving_stale_served_total"
+SERVING_SHARD_DEGRADED_TOTAL = "serving_shard_degraded_total"
+SERVING_AUTOSCALE_ACTIONS_TOTAL = "serving_autoscale_actions_total"
 
 STORAGE_WRITES_TOTAL = "storage_writes_total"
 STORAGE_READS_TOTAL = "storage_reads_total"
@@ -55,6 +61,9 @@ SPAN_DETECTION_QUARANTINE = "detection.quarantine"
 SPAN_SERVING_SERVE = "serving.serve"
 SPAN_SERVING_REQUEST = "serving.request"
 SPAN_SERVING_QUARANTINE = "serving.quarantine"
+SPAN_SERVING_SCALE_REQUEST = "serving.scale_request"
+SPAN_SERVING_AUTOSCALE = "serving.autoscale"
+SPAN_SERVING_DEGRADE = "serving.degrade"
 SPAN_STORAGE_PUT = "storage.put"
 SPAN_STORAGE_GET = "storage.get"
 SPAN_STORAGE_QUARANTINE = "storage.quarantine"
@@ -77,6 +86,12 @@ METRIC_NAMES: frozenset[str] = frozenset({
     SERVING_CORRUPT_ESCAPES_TOTAL,
     SERVING_CORRUPT_CAUGHT_TOTAL,
     SERVING_QUARANTINES_TOTAL,
+    SERVING_HEDGES_TOTAL,
+    SERVING_RETRIES_TOTAL,
+    SERVING_RETRY_BUDGET_EXHAUSTED_TOTAL,
+    SERVING_STALE_SERVED_TOTAL,
+    SERVING_SHARD_DEGRADED_TOTAL,
+    SERVING_AUTOSCALE_ACTIONS_TOTAL,
     STORAGE_WRITES_TOTAL,
     STORAGE_READS_TOTAL,
     STORAGE_DURABLE_ESCAPES_TOTAL,
@@ -92,6 +107,9 @@ SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_SERVING_SERVE,
     SPAN_SERVING_REQUEST,
     SPAN_SERVING_QUARANTINE,
+    SPAN_SERVING_SCALE_REQUEST,
+    SPAN_SERVING_AUTOSCALE,
+    SPAN_SERVING_DEGRADE,
     SPAN_STORAGE_PUT,
     SPAN_STORAGE_GET,
     SPAN_STORAGE_QUARANTINE,

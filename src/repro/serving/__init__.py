@@ -3,18 +3,44 @@
 §7's ask is software that *tolerates* mercurial cores, not just
 detection: this package models a request/response service running on
 fleet cores (:mod:`repro.serving.service`), the hardening toolkit
-around it (:mod:`repro.serving.robustness`), a chaos fault-injection
-harness (:mod:`repro.serving.chaos`), and the campaign driver + SLO
-scorecard (:mod:`repro.serving.campaign`).
+around it (:mod:`repro.serving.robustness`), the campaign driver + SLO
+scorecard (:mod:`repro.serving.campaign`), and the serve-at-scale layer
+E17 runs on — open-loop load generation (:mod:`repro.serving.loadgen`),
+the sharded cluster with pluggable routing, retry budgets, degradation
+tiers and autoscaling (:mod:`repro.serving.cluster`), and its campaign
+driver (:mod:`repro.serving.scale_campaign`).  Chaos fault injection is
+shared with the storage campaigns and lives in :mod:`repro.chaos`.
 """
 
+from repro.chaos import ChaosAction, ChaosKind, ChaosSchedule
 from repro.serving.campaign import (
     CampaignConfig,
     ServingCampaign,
     SloScorecard,
     build_serving_fleet,
 )
-from repro.serving.chaos import ChaosAction, ChaosKind, ChaosSchedule
+from repro.serving.cluster import (
+    ROUTER_POLICIES,
+    Autoscaler,
+    AutoscalerConfig,
+    ConsistentHashRouter,
+    DegradationPolicy,
+    DegradationTier,
+    LeastLoadedRouter,
+    ReplicaRouter,
+    RetryBudget,
+    RetryBudgetConfig,
+    Shard,
+    ShardedCluster,
+    ShardRoundRobinRouter,
+)
+from repro.serving.loadgen import (
+    DEFAULT_COHORTS,
+    LoadGenerator,
+    LoadPhase,
+    LoadProfile,
+    UserCohort,
+)
 from repro.serving.robustness import (
     BreakerBoard,
     BreakerConfig,
@@ -26,6 +52,13 @@ from repro.serving.robustness import (
     LoadShedder,
     ResponseValidator,
     RetryPolicy,
+)
+from repro.serving.scale_campaign import (
+    ScaleConfig,
+    ScaleHardening,
+    ScaleScorecard,
+    ServeScaleCampaign,
+    build_scale_fleet,
 )
 from repro.serving.service import (
     Attempt,
@@ -40,6 +73,8 @@ from repro.serving.service import (
 __all__ = [
     "Attempt",
     "AttemptOutcome",
+    "Autoscaler",
+    "AutoscalerConfig",
     "BreakerBoard",
     "BreakerConfig",
     "BreakerState",
@@ -48,18 +83,39 @@ __all__ = [
     "ChaosKind",
     "ChaosSchedule",
     "CircuitBreaker",
+    "ConsistentHashRouter",
+    "DEFAULT_COHORTS",
+    "DegradationPolicy",
+    "DegradationTier",
     "HardeningConfig",
     "HedgePolicy",
+    "LeastLoadedRouter",
+    "LoadGenerator",
+    "LoadPhase",
+    "LoadProfile",
     "LoadShedConfig",
     "LoadShedder",
+    "ROUTER_POLICIES",
+    "ReplicaRouter",
     "Request",
     "Response",
     "ResponseStatus",
     "ResponseValidator",
+    "RetryBudget",
+    "RetryBudgetConfig",
     "RetryPolicy",
     "RoundRobinRouter",
+    "ScaleConfig",
+    "ScaleHardening",
+    "ScaleScorecard",
+    "ServeScaleCampaign",
     "ServerReplica",
     "ServingCampaign",
+    "Shard",
+    "ShardRoundRobinRouter",
+    "ShardedCluster",
     "SloScorecard",
+    "UserCohort",
+    "build_scale_fleet",
     "build_serving_fleet",
 ]

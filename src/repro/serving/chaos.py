@@ -1,10 +1,31 @@
-"""Compatibility shim: chaos moved to the shared :mod:`repro.chaos`.
+"""Deprecated shim: chaos moved to the shared :mod:`repro.chaos`.
 
 The chaos harness started life inside the serving package (PR 1); the
-storage campaigns reuse it, so the real implementation now lives in
-:mod:`repro.chaos`.  This module keeps the old import path working.
+storage campaigns reuse it, so the real implementation lives in
+:mod:`repro.chaos`.  Importing from this path still works but raises a
+:class:`DeprecationWarning`; new code should import ``repro.chaos``
+directly.
 """
 
-from repro.chaos import ChaosAction, ChaosKind, ChaosSchedule
+from __future__ import annotations
 
-__all__ = ["ChaosAction", "ChaosKind", "ChaosSchedule"]
+import warnings
+from typing import Any
+
+_NAMES = ("ChaosAction", "ChaosKind", "ChaosSchedule")
+
+__all__ = list(_NAMES)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _NAMES:
+        warnings.warn(
+            "repro.serving.chaos is deprecated; import "
+            f"{name} from repro.chaos instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.chaos
+
+        return getattr(repro.chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

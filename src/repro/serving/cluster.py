@@ -1,0 +1,503 @@
+"""The sharded serving cluster: routing, budgets, degradation, scaling.
+
+:mod:`repro.serving.service` models one replica set behind one
+round-robin balancer — enough for E15's four replicas, nowhere near a
+planet-scale service.  This module is the serve-at-scale layer E17
+runs on:
+
+- **Pluggable routers** replacing the bare
+  :class:`~repro.serving.service.RoundRobinRouter`:
+  :class:`ConsistentHashRouter` (stable user→replica affinity, minimal
+  remap when replicas join or leave) and :class:`LeastLoadedRouter`
+  (hot-spot absorption).  All routers share one ``pick`` contract
+  including the exclusion set the retry/breaker machinery relies on.
+- **Per-shard state** — each :class:`Shard` owns its replica router,
+  its own :class:`~repro.serving.robustness.BreakerBoard`, a request
+  queue, a stale-response cache, and a degradation tier.
+- **Retry budgets** — :class:`RetryBudget` is the token bucket that
+  keeps retries from amplifying an incident into a retry storm: tokens
+  accrue as a fraction of admitted requests and every retry spends
+  one; an empty bucket refuses the retry and emits
+  ``RETRY_BUDGET_EXHAUSTED``.
+- **Graceful degradation** — :class:`DegradationPolicy` maps the
+  cluster-wide fraction of open breakers (plus shard capacity loss)
+  onto tiers: ``NORMAL → SHED → SERVE_STALE → FAIL_CLOSED``.  Shedding
+  tightens admission; serve-stale answers from the last validated
+  response for the user key rather than risking a suspect core;
+  fail-closed refuses outright — wrong-and-confident is the one
+  §1-class outcome the ladder never permits.
+- **Autoscaling** — :class:`Autoscaler` watches per-shard utilization
+  (EWMA-smoothed) and asks the campaign to add or drain replicas off
+  the :class:`~repro.fleet.scheduler.FleetScheduler`, with a cooldown
+  so breaker storms don't make it flap.
+
+Everything here is deterministic: router hashes use explicit CRC/
+splitmix functions (never Python's salted ``hash``), and no component
+reads a clock or an unseeded RNG — the cluster is a pure function of
+the request stream it is fed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import enum
+import zlib
+
+from repro.serving.robustness import BreakerBoard, BreakerConfig
+from repro.serving.service import ServerReplica
+
+
+# ---------------------------------------------------------------------
+# deterministic hashing (Python's hash() is salted per process)
+# ---------------------------------------------------------------------
+
+def stable_key_hash(key: int) -> int:
+    """64-bit splitmix finalizer: deterministic across processes."""
+    z = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def stable_str_hash(text: str) -> int:
+    """CRC32 of the UTF-8 bytes: deterministic across processes."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------
+# pluggable routers
+# ---------------------------------------------------------------------
+
+class ReplicaRouter:
+    """The routing contract every policy implements.
+
+    ``pick`` honours an exclusion set (cores already tried — the retry
+    policy's core-diversity rule — or cores whose breaker is open) and
+    an optional ``route_key`` for affinity-aware policies.
+    """
+
+    def __init__(self, replicas: list[ServerReplica]):
+        self.replicas = list(replicas)
+
+    def live_replicas(self) -> list[ServerReplica]:
+        return [r for r in self.replicas if r.available]
+
+    def pick(
+        self,
+        exclude_core_ids: set[str] | None = None,
+        route_key: int | None = None,
+    ) -> ServerReplica | None:
+        raise NotImplementedError
+
+    def add(self, replica: ServerReplica) -> None:
+        self.replicas.append(replica)
+
+    def remove(self, replica: ServerReplica) -> None:
+        self.replicas.remove(replica)
+
+    def replace(self, old: ServerReplica, new: ServerReplica) -> None:
+        self.replicas[self.replicas.index(old)] = new
+
+
+class ShardRoundRobinRouter(ReplicaRouter):
+    """The E15 policy behind the shared contract (the control arm)."""
+
+    def __init__(self, replicas: list[ServerReplica]):
+        super().__init__(replicas)
+        self._cursor = 0
+
+    def pick(
+        self,
+        exclude_core_ids: set[str] | None = None,
+        route_key: int | None = None,
+    ) -> ServerReplica | None:
+        exclude = exclude_core_ids or set()
+        n = len(self.replicas)
+        for offset in range(n):
+            replica = self.replicas[(self._cursor + offset) % n]
+            if not replica.available or replica.core_id in exclude:
+                continue
+            self._cursor = (self._cursor + offset + 1) % n
+            replica.assigned += 1
+            return replica
+        return None
+
+
+class ConsistentHashRouter(ReplicaRouter):
+    """Hash-ring routing: stable affinity, minimal remap on change.
+
+    Each replica owns ``vnodes`` points on a 32-bit ring (hashed from
+    its replica id, so placement survives process boundaries); a
+    request walks clockwise from ``stable_key_hash(route_key)`` to the
+    first distinct live replica not in the exclusion set.  Removing a
+    replica only remaps the keys it owned — retries and stale caches
+    keep their affinity through churn.
+    """
+
+    def __init__(self, replicas: list[ServerReplica], vnodes: int = 16):
+        self.vnodes = vnodes
+        self._ring: list[tuple[int, ServerReplica]] = []
+        super().__init__(replicas)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        ring = []
+        for replica in self.replicas:
+            for vnode in range(self.vnodes):
+                point = stable_str_hash(f"{replica.replica_id}#{vnode}")
+                ring.append((point, replica))
+        # replica_id tie-break keeps the ring order deterministic even
+        # on the (rare) CRC collision
+        ring.sort(key=lambda entry: (entry[0], entry[1].replica_id))
+        self._ring = ring
+
+    def add(self, replica: ServerReplica) -> None:
+        super().add(replica)
+        self._rebuild()
+
+    def remove(self, replica: ServerReplica) -> None:
+        super().remove(replica)
+        self._rebuild()
+
+    def replace(self, old: ServerReplica, new: ServerReplica) -> None:
+        super().replace(old, new)
+        self._rebuild()
+
+    def pick(
+        self,
+        exclude_core_ids: set[str] | None = None,
+        route_key: int | None = None,
+    ) -> ServerReplica | None:
+        if not self._ring:
+            return None
+        exclude = exclude_core_ids or set()
+        point = stable_key_hash(route_key or 0) & 0xFFFFFFFF
+        start = bisect.bisect_left(self._ring, (point, None)) % len(self._ring)
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            _, replica = self._ring[(start + offset) % len(self._ring)]
+            if replica.replica_id in seen:
+                continue
+            seen.add(replica.replica_id)
+            if replica.available and replica.core_id not in exclude:
+                replica.assigned += 1
+                return replica
+        return None
+
+
+class LeastLoadedRouter(ReplicaRouter):
+    """Power-of-all-choices: route to the least-assigned live replica.
+
+    Load is the monotone ``assigned`` counter on each replica (picks,
+    not completions — the simulation dispatches synchronously), with
+    the replica-list position as the deterministic tie-break.
+    """
+
+    def pick(
+        self,
+        exclude_core_ids: set[str] | None = None,
+        route_key: int | None = None,
+    ) -> ServerReplica | None:
+        exclude = exclude_core_ids or set()
+        best: ServerReplica | None = None
+        for replica in self.replicas:
+            if not replica.available or replica.core_id in exclude:
+                continue
+            if best is None or replica.assigned < best.assigned:
+                best = replica
+        if best is not None:
+            best.assigned += 1
+        return best
+
+
+#: router policy name → constructor (the E17 config knob)
+ROUTER_POLICIES: dict[str, type[ReplicaRouter]] = {
+    "round-robin": ShardRoundRobinRouter,
+    "consistent-hash": ConsistentHashRouter,
+    "least-loaded": LeastLoadedRouter,
+}
+
+
+# ---------------------------------------------------------------------
+# retry budgets
+# ---------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Token bucket sizing (per shard).
+
+    Attributes:
+        ratio: tokens earned per admitted request (0.1 = retries may
+            amplify load by at most ~10% in steady state).
+        burst: bucket capacity (and the initial balance), so a short
+            incident can still retry aggressively.
+    """
+
+    ratio: float = 0.1
+    burst: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+
+
+class RetryBudget:
+    """The anti-retry-storm token bucket."""
+
+    def __init__(self, config: RetryBudgetConfig):
+        self.config = config
+        self.tokens = config.burst
+        self.spent = 0
+        self.exhausted = 0
+
+    def deposit(self, admitted: int = 1) -> None:
+        """Earn tokens from admitted first attempts."""
+        self.tokens = min(
+            self.config.burst, self.tokens + self.config.ratio * admitted
+        )
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry; False when the bucket is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhausted += 1
+        return False
+
+
+# ---------------------------------------------------------------------
+# graceful degradation tiers
+# ---------------------------------------------------------------------
+
+class DegradationTier(enum.Enum):
+    """shed → serve-stale → fail-closed, in escalating order."""
+
+    NORMAL = "normal"
+    SHED = "shed"
+    SERVE_STALE = "serve_stale"
+    FAIL_CLOSED = "fail_closed"
+
+
+#: escalation order for comparisons (enum members are not ordered)
+TIER_ORDER: dict[DegradationTier, int] = {
+    DegradationTier.NORMAL: 0,
+    DegradationTier.SHED: 1,
+    DegradationTier.SERVE_STALE: 2,
+    DegradationTier.FAIL_CLOSED: 3,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationPolicy:
+    """Maps cluster distress (fraction of breakers open, capacity lost)
+    onto a degradation tier.  Thresholds are inclusive lower bounds."""
+
+    shed_at: float = 0.25
+    serve_stale_at: float = 0.5
+    fail_closed_at: float = 0.9
+    #: admission queue factor while in SHED or worse (vs the shedder's
+    #: configured factor in NORMAL)
+    shed_queue_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.shed_at <= self.serve_stale_at <= self.fail_closed_at:
+            raise ValueError(
+                "thresholds must satisfy 0 < shed <= stale <= fail"
+            )
+
+    def tier_for(self, distress: float) -> DegradationTier:
+        if distress >= self.fail_closed_at:
+            return DegradationTier.FAIL_CLOSED
+        if distress >= self.serve_stale_at:
+            return DegradationTier.SERVE_STALE
+        if distress >= self.shed_at:
+            return DegradationTier.SHED
+        return DegradationTier.NORMAL
+
+
+# ---------------------------------------------------------------------
+# autoscaling
+# ---------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalerConfig:
+    """Utilization-band autoscaling with cooldown.
+
+    Utilization is admitted work over live capacity, EWMA-smoothed
+    with ``smoothing``; a shard above ``scale_up_at`` asks for one more
+    replica, below ``scale_down_at`` drains one, never leaving the
+    ``[min_replicas, max_replicas]`` band, and never acting twice
+    within ``cooldown_ticks``.
+    """
+
+    scale_up_at: float = 0.85
+    scale_down_at: float = 0.3
+    min_replicas: int = 2
+    max_replicas: int = 6
+    cooldown_ticks: int = 25
+    smoothing: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.scale_down_at < self.scale_up_at:
+            raise ValueError("need 0 <= scale_down_at < scale_up_at")
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not 0 < self.smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+
+
+class Autoscaler:
+    """Per-shard scale decisions; the campaign executes them."""
+
+    def __init__(self, config: AutoscalerConfig):
+        self.config = config
+        self._last_action_tick: dict[str, int] = {}
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def decide(self, shard: "Shard", tick: int) -> int:
+        """+1 (add a replica), -1 (drain one), or 0 (hold)."""
+        cfg = self.config
+        last = self._last_action_tick.get(shard.shard_id)
+        if last is not None and tick - last < cfg.cooldown_ticks:
+            return 0
+        n_live = len(shard.router.live_replicas())
+        if shard.utilization >= cfg.scale_up_at and n_live < cfg.max_replicas:
+            self._last_action_tick[shard.shard_id] = tick
+            self.scale_ups += 1
+            return 1
+        if shard.utilization <= cfg.scale_down_at and n_live > cfg.min_replicas:
+            self._last_action_tick[shard.shard_id] = tick
+            self.scale_downs += 1
+            return -1
+        return 0
+
+
+# ---------------------------------------------------------------------
+# shards and the cluster
+# ---------------------------------------------------------------------
+
+class Shard:
+    """One shard: replicas, breaker board, queue, stale cache, tier."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        router: ReplicaRouter,
+        breaker_config: BreakerConfig | None,
+        event_log=None,
+        machine_of: dict[str, str] | None = None,
+        retry_budget: RetryBudgetConfig | None = None,
+        smoothing: float = 0.2,
+    ):
+        self.shard_id = shard_id
+        self.router = router
+        self.breakers = (
+            BreakerBoard(breaker_config, event_log=event_log,
+                         machine_of=machine_of)
+            if breaker_config is not None else None
+        )
+        self.budget = (
+            RetryBudget(retry_budget) if retry_budget is not None else None
+        )
+        self.queue: list = []
+        #: route_key → last validated OK payload (the serve-stale source)
+        self.stale_cache: dict[int, bytes] = {}
+        self.tier = DegradationTier.NORMAL
+        self.utilization = 0.0
+        self._smoothing = smoothing
+        #: replicas the baseline placement put here (autoscale floor ref)
+        self.configured_replicas = len(router.replicas)
+
+    def note_utilization(self, admitted: int, capacity: int) -> None:
+        """EWMA-update the utilization estimate for the autoscaler."""
+        instant = admitted / capacity if capacity > 0 else 1.0
+        alpha = self._smoothing
+        self.utilization = (1 - alpha) * self.utilization + alpha * instant
+
+    def open_breaker_fraction(self, now_ms: float) -> float:
+        """Fraction of this shard's replica cores behind open breakers."""
+        if self.breakers is None or not self.router.replicas:
+            return 0.0
+        open_ids = self.breakers.open_core_ids(now_ms)
+        blocked = sum(
+            1 for r in self.router.replicas if r.core_id in open_ids
+        )
+        return blocked / len(self.router.replicas)
+
+    def capacity_loss_fraction(self) -> float:
+        """Fraction of configured replica slots currently dark."""
+        if self.configured_replicas == 0:
+            return 0.0
+        live = len(self.router.live_replicas())
+        return max(0.0, 1.0 - live / self.configured_replicas)
+
+
+class ShardedCluster:
+    """All shards of one service, plus cluster-wide distress tracking."""
+
+    def __init__(self, shards: list[Shard]):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.shards = list(shards)
+
+    def shard_for(self, route_key: int) -> Shard:
+        """Deterministic key → shard assignment (stable across runs)."""
+        return self.shards[stable_key_hash(route_key) % len(self.shards)]
+
+    def replicas(self) -> list[ServerReplica]:
+        return [r for shard in self.shards for r in shard.router.replicas]
+
+    def live_capacity(self, per_replica_per_tick: int) -> int:
+        return sum(
+            len(shard.router.live_replicas()) * per_replica_per_tick
+            for shard in self.shards
+        )
+
+    def open_breaker_fraction(self, now_ms: float) -> float:
+        """Cluster-wide fraction of replica cores behind open breakers."""
+        total = 0
+        blocked = 0
+        for shard in self.shards:
+            if shard.breakers is None:
+                total += len(shard.router.replicas)
+                continue
+            open_ids = shard.breakers.open_core_ids(now_ms)
+            for replica in shard.router.replicas:
+                total += 1
+                if replica.core_id in open_ids:
+                    blocked += 1
+        return blocked / total if total else 0.0
+
+    def distress(self, shard: Shard, now_ms: float) -> float:
+        """What the degradation policy grades: the worst of the
+        cluster-wide breaker picture and this shard's own state."""
+        return max(
+            self.open_breaker_fraction(now_ms),
+            shard.open_breaker_fraction(now_ms),
+            shard.capacity_loss_fraction(),
+        )
+
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ConsistentHashRouter",
+    "DegradationPolicy",
+    "DegradationTier",
+    "LeastLoadedRouter",
+    "ROUTER_POLICIES",
+    "ReplicaRouter",
+    "RetryBudget",
+    "RetryBudgetConfig",
+    "Shard",
+    "ShardRoundRobinRouter",
+    "ShardedCluster",
+    "TIER_ORDER",
+    "stable_key_hash",
+    "stable_str_hash",
+]

@@ -1,0 +1,1121 @@
+"""The E17 serve-at-scale campaign: sharded, hedged, budgeted, degraded.
+
+:mod:`repro.serving.campaign` proves the hardening mechanisms on one
+replica set; this driver runs them the way a planet-scale service
+would, against a fleet where *several* cores are mercurial at once:
+
+- traffic comes from the open-loop :class:`~repro.serving.loadgen.LoadGenerator`
+  (arrival ramps, user cohorts, stable per-user ``route_key``);
+- the service is a :class:`~repro.serving.cluster.ShardedCluster` with a
+  pluggable per-shard router, per-shard
+  :class:`~repro.serving.robustness.BreakerBoard`, retry-budget token
+  bucket, stale-response cache and degradation tier;
+- the request path adds what E15 lacked: **deadline propagation** (no
+  attempt or hedge is launched once the remaining budget cannot pay for
+  it), **retry budgets** (a drained bucket refuses the retry and emits
+  ``RETRY_BUDGET_EXHAUSTED`` instead of amplifying an incident), and a
+  **graceful-degradation ladder** (shed → serve-stale → fail-closed)
+  driven by the cluster-wide fraction of open breakers;
+- an :class:`~repro.serving.cluster.Autoscaler` adds and drains
+  replicas off the :class:`~repro.fleet.scheduler.FleetScheduler` as
+  utilization moves.
+
+The scorecard extends E15's SLO view with the tail the paper's
+fleet-scale framing cares about — p99.9 latency, stale-served and
+fail-closed counts, hedge win rates, budget exhaustion — while keeping
+the same ground-truth corruption oracle: an echo service must return
+the bytes it was sent, and only responses *delivered as fresh OK* count
+as user-visible corruption (a response labelled stale is degraded
+service, not silent corruption).
+
+Determinism contract: everything derives from the campaign seed (fleet
+cores, load generator, service jitter); routing uses process-stable
+hashes; obs metrics/spans are emission-only — scorecards are
+byte-identical with observability on or off, and across worker counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.chaos import ChaosKind, ChaosSchedule
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.detection.signals import SignalAnalyzer
+from repro.fleet.machine import Machine
+from repro.fleet.product import CpuProduct
+from repro.fleet.scheduler import FleetScheduler, Task
+from repro.obs.forensics import detection_latency_summary
+from repro.serving.cluster import (
+    ROUTER_POLICIES,
+    Autoscaler,
+    AutoscalerConfig,
+    DegradationPolicy,
+    DegradationTier,
+    RetryBudgetConfig,
+    Shard,
+    ShardedCluster,
+    TIER_ORDER,
+)
+from repro.serving.loadgen import DEFAULT_COHORTS, LoadGenerator, LoadProfile, UserCohort
+from repro.serving.robustness import (
+    BreakerConfig,
+    HedgePolicy,
+    LoadShedConfig,
+    ResponseValidator,
+    RetryPolicy,
+)
+from repro.serving.service import (
+    Attempt,
+    AttemptOutcome,
+    Request,
+    Response,
+    ResponseStatus,
+    ServerReplica,
+)
+from repro.silicon.aging import AgingProfile
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import StuckBitDefect
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.units import FunctionalUnit, Op
+
+MS_PER_DAY = 86_400_000.0
+
+
+# ---------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ScaleConfig:
+    """Cluster shape, traffic shape and timing for one E17 run."""
+
+    ticks: int = 600
+    tick_ms: float = 2.0
+    n_shards: int = 3
+    replicas_per_shard: int = 3
+    per_replica_per_tick: int = 2
+    base_rate: float = 6.0
+    peak_rate: float = 14.0
+    base_latency_ms: float = 1.0
+    straggler_prob: float = 0.03
+    straggler_factor: float = 12.0
+    offline_penalty_ms: float = 0.5
+    mce_penalty_ms: float = 2.0
+    #: latency of a stale-cache hit (no core in the path)
+    stale_latency_ms: float = 0.3
+    #: the multi-bad-core fleet needs a wider quarantine budget than the
+    #: single-defect default (2% of 32 cores rounds to one core)
+    policy: PolicyConfig = dataclasses.field(
+        default_factory=lambda: PolicyConfig(max_quarantined_fraction=0.3)
+    )
+
+    @property
+    def n_replicas(self) -> int:
+        return self.n_shards * self.replicas_per_shard
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleHardening:
+    """Which defences the sharded service runs (the E17 arm knob)."""
+
+    name: str = "full"
+    validate: bool = True
+    retry: RetryPolicy | None = dataclasses.field(default_factory=RetryPolicy)
+    retry_budget: RetryBudgetConfig | None = dataclasses.field(
+        default_factory=RetryBudgetConfig
+    )
+    hedge: HedgePolicy | None = dataclasses.field(default_factory=HedgePolicy)
+    breaker: BreakerConfig | None = dataclasses.field(
+        default_factory=BreakerConfig
+    )
+    shed: LoadShedConfig | None = dataclasses.field(
+        default_factory=LoadShedConfig
+    )
+    degradation: DegradationPolicy | None = dataclasses.field(
+        default_factory=DegradationPolicy
+    )
+    autoscale: AutoscalerConfig | None = dataclasses.field(
+        default_factory=AutoscalerConfig
+    )
+    router_policy: str = "consistent-hash"
+
+    def __post_init__(self) -> None:
+        if self.router_policy not in ROUTER_POLICIES:
+            raise ValueError(f"unknown router policy {self.router_policy!r}")
+
+    @classmethod
+    def baseline(cls) -> "ScaleHardening":
+        """The naive cluster: trust every response, never reroute."""
+        return cls(
+            name="baseline", validate=False, retry=None, retry_budget=None,
+            hedge=None, breaker=None, shed=None, degradation=None,
+            autoscale=None, router_policy="round-robin",
+        )
+
+    @classmethod
+    def retries_breakers(cls) -> "ScaleHardening":
+        """Validation + budgeted retries + breakers, no hedging or
+        degradation ladder — the middle rung of the mitigation-spend
+        grid."""
+        return cls(
+            name="retries+breakers", hedge=None, degradation=None,
+            autoscale=None,
+        )
+
+    @classmethod
+    def full(cls) -> "ScaleHardening":
+        """Everything on: hedging, degradation tiers, autoscaling."""
+        return cls()
+
+
+# ---------------------------------------------------------------------
+# the scorecard
+# ---------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ScaleScorecard:
+    """What one (prevalence, hardening) cell achieved."""
+
+    name: str
+    total_arrivals: int = 0
+    ok: int = 0
+    corrupt_escapes: int = 0
+    corrupt_caught: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    unavailable: int = 0
+    failed: int = 0
+    fail_closed: int = 0
+    stale_served: int = 0
+    retries: int = 0
+    retry_budget_exhausted: int = 0
+    hedges: int = 0
+    hedges_won: int = 0
+    machine_checks: int = 0
+    breaker_trips: int = 0
+    autoscale_ups: int = 0
+    autoscale_downs: int = 0
+    ticks: int = 0
+    #: ticks each shard spent in each non-normal tier (summed over shards)
+    degraded_ticks: dict[str, int] = dataclasses.field(default_factory=dict)
+    quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    latencies_ms: list[float] = dataclasses.field(default_factory=list)
+    per_cohort: dict[str, dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    first_corrupt_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    detection_latency_ms: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def answered(self) -> int:
+        """Responses a user got back with payload: fresh OK + stale."""
+        return self.ok + self.stale_served
+
+    @property
+    def availability(self) -> float:
+        """Fresh in-deadline OK responses per arrival (strict)."""
+        if self.total_arrivals == 0:
+            return 1.0
+        return self.ok / self.total_arrivals
+
+    @property
+    def answered_rate(self) -> float:
+        """OK + stale per arrival (what degraded service still delivers)."""
+        if self.total_arrivals == 0:
+            return 1.0
+        return self.answered / self.total_arrivals
+
+    @property
+    def escape_rate(self) -> float:
+        """User-visible corruption: wrong bytes delivered as fresh OK."""
+        if self.ok == 0:
+            return 0.0
+        return self.corrupt_escapes / self.ok
+
+    @property
+    def valid_ok(self) -> int:
+        return self.ok - self.corrupt_escapes
+
+    @property
+    def goodput_per_tick(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.valid_ok / self.ticks
+
+    @property
+    def hedge_win_rate(self) -> float:
+        if self.hedges == 0:
+            return 0.0
+        return self.hedges_won / self.hedges
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.array(self.latencies_ms), q))
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def p999_latency_ms(self) -> float:
+        return self.latency_percentile(99.9)
+
+    def summary_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.escape_rate:.3%}",
+            f"{self.availability:.2%}",
+            f"{self.p50_latency_ms:.1f}",
+            f"{self.p99_latency_ms:.1f}",
+            f"{self.p999_latency_ms:.1f}",
+            str(self.stale_served),
+            str(self.fail_closed),
+            f"{self.hedges_won}/{self.hedges}",
+            str(self.retry_budget_exhausted),
+            str(len(self.quarantine_tick)),
+        ]
+
+    def to_json(self) -> dict:
+        """Machine-readable scorecard (CI asserts on these keys)."""
+        return {
+            "name": self.name,
+            "ticks": self.ticks,
+            "total_arrivals": self.total_arrivals,
+            "ok": self.ok,
+            "escape_rate": self.escape_rate,
+            "corrupt_escapes": self.corrupt_escapes,
+            "corrupt_caught": self.corrupt_caught,
+            "availability": self.availability,
+            "answered_rate": self.answered_rate,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "p999_latency_ms": self.p999_latency_ms,
+            "goodput_per_tick": self.goodput_per_tick,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "unavailable": self.unavailable,
+            "failed": self.failed,
+            "fail_closed": self.fail_closed,
+            "stale_served": self.stale_served,
+            "retries": self.retries,
+            "retry_budget_exhausted": self.retry_budget_exhausted,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "hedge_win_rate": self.hedge_win_rate,
+            "machine_checks": self.machine_checks,
+            "breaker_trips": self.breaker_trips,
+            "autoscale_ups": self.autoscale_ups,
+            "autoscale_downs": self.autoscale_downs,
+            "degraded_ticks": dict(sorted(self.degraded_ticks.items())),
+            "per_cohort": {
+                cohort: dict(sorted(stats.items()))
+                for cohort, stats in sorted(self.per_cohort.items())
+            },
+            "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+            "first_corrupt_tick": dict(sorted(self.first_corrupt_tick.items())),
+            "detection_latency_ms": self.detection_latency_ms,
+        }
+
+
+# ---------------------------------------------------------------------
+# the campaign driver
+# ---------------------------------------------------------------------
+
+class ServeScaleCampaign:
+    """One hardening arm against one multi-defect fleet, sharded."""
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        config: ScaleConfig | None = None,
+        hardening: ScaleHardening | None = None,
+        chaos: ChaosSchedule | None = None,
+        profile: LoadProfile | None = None,
+        cohorts: tuple[UserCohort, ...] = DEFAULT_COHORTS,
+        seed: int = 0,
+    ):
+        self.machines = machines
+        self.config = config or ScaleConfig()
+        self.hardening = hardening or ScaleHardening.full()
+        self.chaos = chaos or ChaosSchedule()
+        self.chaos.reset()
+        self.rng = np.random.default_rng(seed)
+        cfg = self.config
+
+        self.events = EventLog()
+        self._core_by_id: dict[str, Core] = {}
+        self._machine_by_core: dict[str, str] = {}
+        for machine in machines:
+            for core in machine.cores:
+                self._core_by_id[core.core_id] = core
+                self._machine_by_core[core.core_id] = machine.machine_id
+
+        self.analyzer = SignalAnalyzer(tracker=SuspicionTracker())
+        self.policy = QuarantinePolicy(
+            cfg.policy, fleet_cores=len(self._core_by_id)
+        )
+
+        self.client_core = Core(
+            "client/c00", rng=np.random.default_rng(seed + 1)
+        )
+        self.validator = (
+            ResponseValidator(self.client_core)
+            if self.hardening.validate else None
+        )
+
+        self.loadgen = LoadGenerator(
+            profile or LoadProfile.ramp(cfg.base_rate, cfg.peak_rate,
+                                        cfg.ticks),
+            cohorts=cohorts,
+            seed=seed + 11,
+        )
+
+        self.scheduler = FleetScheduler(machines)
+        self.cluster = self._build_cluster()
+        self.autoscaler = (
+            Autoscaler(self.hardening.autoscale)
+            if self.hardening.autoscale else None
+        )
+
+        self.scorecard = ScaleScorecard(name=self.hardening.name)
+        for cohort in cohorts:
+            self.scorecard.per_cohort[cohort.name] = {
+                "arrivals": 0, "ok": 0, "corrupt_escapes": 0,
+            }
+        self._restore_at: dict[str, int] = {}
+        self._burst_multiplier = 1.0
+        self._burst_until = -1
+        self._events_seen = 0
+        self._replica_seq = cfg.n_replicas
+
+        self._corruption_base = {
+            core_id: core.corruptions_induced
+            for core_id, core in self._core_by_id.items()
+        }
+        self._first_corrupt_tick: dict[str, int] = {}
+
+        self._now_ms = 0.0
+        self._obs_on = obs.enabled()
+        if self._obs_on:
+            obs.tracer.set_clock(lambda: self._now_ms)
+            self._m_requests = obs.metrics.counter(
+                "serving_requests_total",
+                help="terminal request outcomes, by client-visible status",
+                unit="requests",
+            )
+            self._h_latency = obs.metrics.histogram(
+                "serving_latency_ms",
+                help="end-to-end latency of OK responses (simulated)",
+                unit="ms",
+            )
+            self._m_escapes = obs.metrics.counter(
+                "serving_corrupt_escapes_total",
+                help="corrupt responses delivered as OK (ground truth)",
+                unit="responses",
+            )
+            self._m_caught = obs.metrics.counter(
+                "serving_corrupt_caught_total",
+                help="responses rejected by the e2e validator",
+                unit="responses",
+            )
+            self._m_quarantines = obs.metrics.counter(
+                "serving_quarantines_total",
+                help="cores pulled from the replica pool by the campaign "
+                     "policy loop",
+                unit="cores",
+            )
+            self._m_hedges = obs.metrics.counter(
+                "serving_hedges_total",
+                help="tail-latency hedges issued, by whether the hedge won",
+                unit="hedges",
+            )
+            self._m_retries = obs.metrics.counter(
+                "serving_retries_total",
+                help="retry attempts issued after a failed first attempt",
+                unit="retries",
+            )
+            self._m_budget = obs.metrics.counter(
+                "serving_retry_budget_exhausted_total",
+                help="retries refused because the shard's token bucket "
+                     "was dry",
+                unit="refusals",
+            )
+            self._m_stale = obs.metrics.counter(
+                "serving_stale_served_total",
+                help="responses served from the degradation stale cache",
+                unit="responses",
+            )
+            self._m_degraded = obs.metrics.counter(
+                "serving_shard_degraded_total",
+                help="shard degradation-tier escalations, by tier entered",
+                unit="transitions",
+            )
+            self._m_autoscale = obs.metrics.counter(
+                "serving_autoscale_actions_total",
+                help="autoscaler replica additions and drains",
+                unit="actions",
+            )
+
+    # -- placement -----------------------------------------------------
+
+    def _make_replica(self, core: Core, replica_id: str) -> ServerReplica:
+        cfg = self.config
+        return ServerReplica(
+            replica_id,
+            core,
+            base_latency_ms=cfg.base_latency_ms,
+            straggler_prob=cfg.straggler_prob,
+            straggler_factor=cfg.straggler_factor,
+        )
+
+    def _build_cluster(self) -> ShardedCluster:
+        cfg = self.config
+        hardening = self.hardening
+        tasks = [
+            Task(f"shard/{g}/r{i}", op_mix={Op.COPY: 1.0})
+            for g in range(cfg.n_shards)
+            for i in range(cfg.replicas_per_shard)
+        ]
+        placements, _ = self.scheduler.schedule(tasks)
+        if len(placements) < len(tasks):
+            raise ValueError("fleet too small for the requested cluster")
+        router_cls = ROUTER_POLICIES[hardening.router_policy]
+        shards = []
+        for g in range(cfg.n_shards):
+            chunk = placements[
+                g * cfg.replicas_per_shard:(g + 1) * cfg.replicas_per_shard
+            ]
+            replicas = [
+                self._make_replica(
+                    self._core_by_id[p.core_id], f"shard/{g}/r{i}"
+                )
+                for i, p in enumerate(chunk)
+            ]
+            shards.append(
+                Shard(
+                    f"shard/{g}",
+                    router_cls(replicas),
+                    hardening.breaker,
+                    event_log=self.events,
+                    machine_of=self._machine_by_core,
+                    retry_budget=hardening.retry_budget,
+                )
+            )
+        return ShardedCluster(shards)
+
+    def _spare_core(self) -> Core | None:
+        """A scheduled spare core, or None when the fleet is drained."""
+        occupied = {r.core_id for r in self.cluster.replicas()}
+        quarantined = set(self.policy.quarantined) | set(
+            self.scorecard.quarantine_tick
+        )
+        placements, _ = self.scheduler.schedule(
+            [Task("spare", op_mix={Op.COPY: 1.0})],
+            exclude_core_ids=occupied | quarantined,
+        )
+        if not placements:
+            return None
+        return self._core_by_id[placements[0].core_id]
+
+    def _replace_replica(self, shard: Shard, replica: ServerReplica) -> None:
+        """Re-place one replica off its (now quarantined) core."""
+        core = self._spare_core()
+        if core is None:
+            return  # degraded: serve with fewer replicas
+        self._replica_seq += 1
+        shard.router.replace(
+            replica,
+            self._make_replica(core, f"{shard.shard_id}/r{self._replica_seq}"),
+        )
+
+    # -- event plumbing ------------------------------------------------
+
+    def _emit(
+        self, now_ms: float, core_id: str, kind: EventKind, detail: str
+    ) -> None:
+        self.events.append(
+            CeeEvent(
+                time_days=now_ms / MS_PER_DAY,
+                machine_id=self._machine_by_core.get(
+                    core_id, core_id.rsplit("/", 1)[0]
+                ),
+                core_id=core_id,
+                kind=kind,
+                reporter=Reporter.AUTOMATED,
+                application="serving",
+                detail=detail,
+            )
+        )
+
+    # -- one request ---------------------------------------------------
+
+    def _attempt_once(
+        self,
+        shard: Shard,
+        replica: ServerReplica,
+        request: Request,
+        expected_checksum: int | None,
+        now_ms: float,
+        hedged: bool = False,
+    ) -> tuple[Attempt, bytes | None]:
+        cfg = self.config
+        core_id = replica.core_id
+        try:
+            payload, latency = replica.serve(request, self.rng)
+        except MachineCheckError:
+            self.scorecard.machine_checks += 1
+            self._emit(now_ms, core_id, EventKind.MACHINE_CHECK, "mce in RPC")
+            if shard.breakers:
+                shard.breakers.record_failure(core_id, now_ms, "machine check")
+            return (
+                Attempt(core_id, AttemptOutcome.MACHINE_CHECK,
+                        cfg.mce_penalty_ms, hedged),
+                None,
+            )
+        except CoreOfflineError:
+            return (
+                Attempt(core_id, AttemptOutcome.CORE_OFFLINE,
+                        cfg.offline_penalty_ms, hedged),
+                None,
+            )
+        if self.validator is not None and expected_checksum is not None:
+            if not self.validator.validate(expected_checksum, payload):
+                self.scorecard.corrupt_caught += 1
+                if self._obs_on:
+                    self._m_caught.inc()
+                self._emit(
+                    now_ms, core_id, EventKind.APP_REPORT,
+                    "e2e checksum mismatch",
+                )
+                if shard.breakers:
+                    shard.breakers.record_failure(
+                        core_id, now_ms, "checksum mismatch"
+                    )
+                return (
+                    Attempt(core_id, AttemptOutcome.CORRUPT_CAUGHT,
+                            latency, hedged),
+                    None,
+                )
+        if shard.breakers:
+            shard.breakers.record_success(core_id, now_ms)
+        return Attempt(core_id, AttemptOutcome.OK, latency, hedged), payload
+
+    def _dispatch(self, shard: Shard, request: Request, now_ms: float,
+                  queue_wait_ms: float) -> Response:
+        hardening = self.hardening
+        card = self.scorecard
+        expected = (
+            self.validator.checksum(request.payload)
+            if self.validator is not None else None
+        )
+        max_attempts = hardening.retry.max_attempts if hardening.retry else 1
+        attempts: list[Attempt] = []
+        tried: set[str] = set()
+        total_latency = queue_wait_ms
+
+        for attempt_index in range(max_attempts):
+            if attempt_index > 0:
+                # Deadline propagation: a retry that cannot possibly
+                # finish inside the budget is not launched at all.
+                if total_latency >= request.deadline_ms:
+                    break
+                if shard.budget is not None and not shard.budget.try_spend():
+                    card.retry_budget_exhausted += 1
+                    if self._obs_on:
+                        self._m_budget.inc()
+                    self._emit(
+                        now_ms, shard.shard_id,
+                        EventKind.RETRY_BUDGET_EXHAUSTED,
+                        f"request {request.request_id}: token bucket dry",
+                    )
+                    break
+                card.retries += 1
+                if self._obs_on:
+                    self._m_retries.inc()
+                total_latency += hardening.retry.backoff_ms(
+                    attempt_index - 1, self.rng
+                )
+            exclude = set(tried) if (
+                hardening.retry and hardening.retry.core_diversity
+            ) else set()
+            if shard.breakers:
+                exclude |= shard.breakers.open_core_ids(now_ms)
+            replica = shard.router.pick(exclude, route_key=request.route_key)
+            if replica is None:
+                break
+            attempt, payload = self._attempt_once(
+                shard, replica, request, expected, now_ms
+            )
+            attempts.append(attempt)
+            tried.add(replica.core_id)
+            effective = attempt.latency_ms
+            winner = replica.core_id
+
+            # Tail hedging: duplicate a slow-looking primary elsewhere —
+            # but only when the deadline can still pay for the hedge.
+            if (
+                hardening.hedge
+                and attempt.outcome is AttemptOutcome.OK
+                and attempt.latency_ms > hardening.hedge.hedge_delay_ms
+                and total_latency + hardening.hedge.hedge_delay_ms
+                    < request.deadline_ms
+            ):
+                hedge_exclude = exclude | {replica.core_id}
+                hedge_replica = shard.router.pick(
+                    hedge_exclude, route_key=request.route_key
+                )
+                if hedge_replica is not None:
+                    card.hedges += 1
+                    self._emit(
+                        now_ms, replica.core_id, EventKind.HEDGE_FIRED,
+                        f"primary looked slow ({attempt.latency_ms:.1f}ms)",
+                    )
+                    h_attempt, h_payload = self._attempt_once(
+                        shard, hedge_replica, request, expected, now_ms,
+                        hedged=True,
+                    )
+                    attempts.append(h_attempt)
+                    tried.add(hedge_replica.core_id)
+                    won = False
+                    if h_attempt.outcome is AttemptOutcome.OK:
+                        h_effective = (
+                            hardening.hedge.hedge_delay_ms
+                            + h_attempt.latency_ms
+                        )
+                        if h_effective < effective:
+                            effective = h_effective
+                            payload = h_payload
+                            winner = hedge_replica.core_id
+                            won = True
+                    if won:
+                        card.hedges_won += 1
+                    if self._obs_on:
+                        self._m_hedges.inc(
+                            outcome="won" if won else "lost"
+                        )
+
+            total_latency += effective
+            if attempt.outcome is AttemptOutcome.OK:
+                status = (
+                    ResponseStatus.OK
+                    if total_latency <= request.deadline_ms
+                    else ResponseStatus.TIMEOUT
+                )
+                return Response(
+                    request.request_id, status, payload, winner,
+                    total_latency, attempts,
+                    validated=self.validator is not None,
+                )
+
+        status = (
+            ResponseStatus.UNAVAILABLE if not attempts
+            else ResponseStatus.FAILED
+        )
+        return Response(
+            request.request_id, status, None, None, total_latency, attempts
+        )
+
+    def _serve_one(self, shard: Shard, request: Request, tick: int,
+                   now_ms: float) -> Response:
+        cfg = self.config
+        card = self.scorecard
+        queue_wait = (tick - request.arrival_tick) * cfg.tick_ms
+
+        if shard.tier is DegradationTier.SERVE_STALE:
+            cached = shard.stale_cache.get(request.route_key)
+            if cached is not None:
+                card.stale_served += 1
+                if self._obs_on:
+                    self._m_stale.inc()
+                return Response(
+                    request.request_id, ResponseStatus.OK, cached, None,
+                    queue_wait + cfg.stale_latency_ms, [], stale=True,
+                )
+            # cache miss: fall through to a (risky) live attempt
+
+        response = self._dispatch(shard, request, now_ms, queue_wait)
+        if (
+            self.hardening.degradation is not None
+            and response.status is ResponseStatus.OK
+            and not response.stale
+            and response.payload is not None
+        ):
+            shard.stale_cache[request.route_key] = response.payload
+        return response
+
+    # -- chaos ---------------------------------------------------------
+
+    def _apply_chaos(self, tick: int) -> None:
+        for action in self.chaos.due(tick):
+            if action.kind is ChaosKind.ACTIVATE_DEFECT:
+                core = self._core_by_id.get(action.core_id)
+                if core is not None:
+                    core.advance_age(action.magnitude)
+            elif action.kind is ChaosKind.CRASH_CORE:
+                core = self._core_by_id.get(action.core_id)
+                if core is not None:
+                    core.set_online(False)
+                    self._restore_at[action.core_id] = (
+                        tick + max(1, action.duration_ticks)
+                    )
+            elif action.kind is ChaosKind.MACHINE_CHECK_BURST:
+                for replica in self.cluster.replicas():
+                    if replica.core_id == action.core_id:
+                        replica.forced_mce_remaining += int(action.magnitude)
+            elif action.kind is ChaosKind.TRAFFIC_BURST:
+                self._burst_multiplier = action.magnitude
+                self._burst_until = tick + max(1, action.duration_ticks)
+
+        for core_id, restore_tick in list(self._restore_at.items()):
+            if tick >= restore_tick:
+                del self._restore_at[core_id]
+                if core_id not in self.scorecard.quarantine_tick:
+                    self._core_by_id[core_id].set_online(True)
+        if tick >= self._burst_until:
+            self._burst_multiplier = 1.0
+
+    # -- degradation ---------------------------------------------------
+
+    def _update_tiers(self, tick: int, now_ms: float) -> None:
+        policy = self.hardening.degradation
+        card = self.scorecard
+        for shard in self.cluster.shards:
+            if policy is None:
+                tier = DegradationTier.NORMAL
+            else:
+                tier = policy.tier_for(self.cluster.distress(shard, now_ms))
+            if TIER_ORDER[tier] > TIER_ORDER[shard.tier]:
+                # escalation is the alarm-worthy transition
+                self._emit(
+                    now_ms, shard.shard_id, EventKind.SHARD_DEGRADED,
+                    f"{shard.tier.value} -> {tier.value}",
+                )
+                if self._obs_on:
+                    self._m_degraded.inc(tier=tier.value)
+                    with obs.tracer.span(
+                        "serving.degrade", shard=shard.shard_id,
+                        tier=tier.value, tick=tick,
+                    ):
+                        pass
+            shard.tier = tier
+            if tier is not DegradationTier.NORMAL:
+                card.degraded_ticks[tier.value] = (
+                    card.degraded_ticks.get(tier.value, 0) + 1
+                )
+
+    # -- autoscaling ---------------------------------------------------
+
+    def _autoscale(self, tick: int, now_ms: float) -> None:
+        if self.autoscaler is None:
+            return
+        card = self.scorecard
+        for shard in self.cluster.shards:
+            action = self.autoscaler.decide(shard, tick)
+            if action == 0:
+                continue
+            if action > 0:
+                core = self._spare_core()
+                if core is None:
+                    continue
+                self._replica_seq += 1
+                shard.router.add(
+                    self._make_replica(
+                        core, f"{shard.shard_id}/r{self._replica_seq}"
+                    )
+                )
+                card.autoscale_ups += 1
+                direction = "up"
+            else:
+                live = shard.router.live_replicas()
+                if not live:
+                    continue
+                # drain the most recently added live replica (LIFO keeps
+                # the original placement as the stable core of the shard)
+                shard.router.remove(live[-1])
+                card.autoscale_downs += 1
+                direction = "down"
+            self._emit(
+                now_ms, shard.shard_id, EventKind.AUTOSCALE_ACTION,
+                f"scale {direction} (util {shard.utilization:.2f})",
+            )
+            if self._obs_on:
+                self._m_autoscale.inc(direction=direction)
+                with obs.tracer.span(
+                    "serving.autoscale", shard=shard.shard_id,
+                    direction=direction, tick=tick,
+                ):
+                    pass
+
+    # -- detection loop ------------------------------------------------
+
+    def _run_policy(self, tick: int, now_ms: float) -> None:
+        new_events = self.events.tail(self._events_seen)
+        self._events_seen = len(self.events)
+        self.analyzer.ingest_all(new_events)
+
+        now_days = now_ms / MS_PER_DAY
+        for core_id, score in self.analyzer.suspects(
+            now_days, threshold=self.config.policy.retest_threshold
+        ):
+            core = self._core_by_id.get(core_id)
+            if core is None or core_id in self.scorecard.quarantine_tick:
+                continue
+            decision = self.policy.decide(core_id, score, confessed=False)
+            if decision.action in (
+                Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE
+            ):
+                self._quarantine(core_id, tick)
+                if decision.action is Action.QUARANTINE_MACHINE:
+                    machine_id = self._machine_by_core[core_id]
+                    for sibling_id, owner in self._machine_by_core.items():
+                        if owner == machine_id:
+                            self._quarantine(sibling_id, tick)
+
+        for shard in self.cluster.shards:
+            for replica in list(shard.router.replicas):
+                if replica.core_id in self.scorecard.quarantine_tick:
+                    self._replace_replica(shard, replica)
+
+    def _quarantine(self, core_id: str, tick: int) -> None:
+        if core_id in self.scorecard.quarantine_tick:
+            return
+        self._core_by_id[core_id].set_online(False)
+        self.scorecard.quarantine_tick[core_id] = tick
+        self._restore_at.pop(core_id, None)
+        if self._obs_on:
+            self._m_quarantines.inc()
+            with obs.tracer.span(
+                "serving.quarantine", core_id=core_id, tick=tick
+            ):
+                pass
+
+    # -- the main loop -------------------------------------------------
+
+    def run(self) -> ScaleScorecard:
+        cfg = self.config
+        card = self.scorecard
+        obs_on = self._obs_on
+        for tick in range(cfg.ticks):
+            now_ms = tick * cfg.tick_ms
+            self._now_ms = now_ms
+            self._apply_chaos(tick)
+            self._update_tiers(tick, now_ms)
+
+            arrivals = self.loadgen.arrivals(tick, self._burst_multiplier)
+            card.total_arrivals += len(arrivals)
+            per_shard: dict[str, list[Request]] = {
+                shard.shard_id: [] for shard in self.cluster.shards
+            }
+            for request in arrivals:
+                card.per_cohort[request.cohort]["arrivals"] += 1
+                shard = self.cluster.shard_for(request.route_key)
+                per_shard[shard.shard_id].append(request)
+
+            for shard in self.cluster.shards:
+                mine = per_shard[shard.shard_id]
+                capacity = (
+                    len(shard.router.live_replicas())
+                    * cfg.per_replica_per_tick
+                )
+
+                if shard.tier is DegradationTier.FAIL_CLOSED:
+                    # fail fast and clearly rather than risk wrong bytes
+                    for request in mine:
+                        card.fail_closed += 1
+                        response = Response(
+                            request.request_id, ResponseStatus.FAILED, None,
+                            None, 0.0, [],
+                        )
+                        self._score(request, response)
+                    admitted = 0
+                else:
+                    admitted = self._admit(shard, mine, capacity)
+
+                if shard.budget is not None and admitted:
+                    shard.budget.deposit(admitted)
+
+                batch = shard.queue[:capacity]
+                shard.queue = shard.queue[capacity:]
+                for request in batch:
+                    if obs_on:
+                        with obs.tracer.span(
+                            "serving.scale_request",
+                            request_id=request.request_id,
+                            shard=shard.shard_id,
+                        ) as sp:
+                            response = self._serve_one(
+                                shard, request, tick, now_ms
+                            )
+                            sp.attrs["status"] = response.status.value
+                            sp.attrs["stale"] = response.stale
+                    else:
+                        response = self._serve_one(shard, request, tick, now_ms)
+                    self._score(request, response)
+
+                demand = admitted + len(shard.queue)
+                shard.note_utilization(demand, max(capacity, 1))
+
+            self._note_corruptions(tick)
+            self._run_policy(tick, now_ms)
+            self._autoscale(tick, now_ms)
+
+        for shard in self.cluster.shards:
+            card.unavailable += len(shard.queue)
+            shard.queue.clear()
+        card.ticks = cfg.ticks
+        card.breaker_trips = sum(
+            shard.breakers.total_trips
+            for shard in self.cluster.shards if shard.breakers is not None
+        )
+        if self.autoscaler is not None:
+            # cross-check the campaign's own counters against the scaler
+            card.autoscale_ups = self.autoscaler.scale_ups
+            card.autoscale_downs = self.autoscaler.scale_downs
+        card.first_corrupt_tick = dict(sorted(self._first_corrupt_tick.items()))
+        card.detection_latency_ms = detection_latency_summary(
+            self._first_corrupt_tick, card.quarantine_tick,
+            list(self.events), cfg.tick_ms,
+        )
+        return card
+
+    def _admit(self, shard: Shard, arrivals: list[Request],
+               capacity: int) -> int:
+        """Admission control for one shard's arrivals; returns admitted."""
+        card = self.scorecard
+        hardening = self.hardening
+        degradation = hardening.degradation
+        if shard.tier is not DegradationTier.NORMAL and degradation is not None:
+            factor = degradation.shed_queue_factor
+        elif hardening.shed is not None:
+            factor = hardening.shed.max_queue_factor
+        else:
+            shard.queue.extend(arrivals)
+            return len(arrivals)
+        limit = max(capacity, int(factor * capacity))
+        room = max(0, limit - len(shard.queue))
+        admitted = arrivals[:room]
+        card.shed += len(arrivals) - len(admitted)
+        shard.queue.extend(admitted)
+        return len(admitted)
+
+    def _note_corruptions(self, tick: int) -> None:
+        """Ground-truth bookkeeping (unconditional: no REPRO_OBS skew)."""
+        base = self._corruption_base
+        for core_id, core in self._core_by_id.items():
+            induced = core.corruptions_induced
+            if induced != base[core_id]:
+                base[core_id] = induced
+                if core_id not in self._first_corrupt_tick:
+                    self._first_corrupt_tick[core_id] = tick
+
+    def _score(self, request: Request, response: Response) -> None:
+        card = self.scorecard
+        if self._obs_on:
+            self._m_requests.inc(status=response.status.value)
+        if response.stale:
+            # degraded-but-honest: delivered, labelled stale, never
+            # counted as fresh OK nor eligible as a silent corruption
+            card.latencies_ms.append(response.latency_ms)
+            if self._obs_on:
+                self._h_latency.observe(response.latency_ms)
+            return
+        if response.status is ResponseStatus.OK:
+            card.ok += 1
+            card.per_cohort[request.cohort]["ok"] += 1
+            card.latencies_ms.append(response.latency_ms)
+            if self._obs_on:
+                self._h_latency.observe(response.latency_ms)
+            if response.payload != request.payload:
+                card.corrupt_escapes += 1
+                card.per_cohort[request.cohort]["corrupt_escapes"] += 1
+                if self._obs_on:
+                    self._m_escapes.inc()
+        elif response.status is ResponseStatus.TIMEOUT:
+            card.timeouts += 1
+        elif response.status is ResponseStatus.UNAVAILABLE:
+            card.unavailable += 1
+        elif response.status is ResponseStatus.FAILED:
+            card.failed += 1
+
+
+# ---------------------------------------------------------------------
+# fleet construction for serve-at-scale experiments
+# ---------------------------------------------------------------------
+
+def build_scale_fleet(
+    n_machines: int = 4,
+    cores_per_machine: int = 4,
+    prevalence: float = 0.1,
+    base_rate: float = 0.05,
+    onset_days: float = 300.0,
+    seed: int = 7,
+) -> tuple[list[Machine], list[str]]:
+    """A fleet where a ``prevalence`` fraction of cores is mercurial.
+
+    The bad-core count is fixed at ``round(prevalence × n_cores)``
+    (minimum 1) and the cores are chosen by a seed-stable permutation,
+    so raising the prevalence strictly *grows* the bad-core set — the
+    E17 grid compares prevalence levels against nested fleets rather
+    than re-rolled ones.  Defects are dormant stuck-bits on the
+    load/store unit (``onset_days`` in the future); the E17 chaos
+    script ages the bad cores past onset mid-campaign, so the cluster
+    starts clean and rots while under load.  Returns
+    (machines, bad core ids).
+    """
+    product = CpuProduct(
+        vendor="sim", sku=f"scale-{cores_per_machine}c",
+        cores_per_machine=cores_per_machine, core_prevalence=prevalence,
+    )
+    root = np.random.default_rng(seed)
+    n_cores = n_machines * cores_per_machine
+    n_bad = max(1, int(round(prevalence * n_cores)))
+    bad_slots = {int(i) for i in root.permutation(n_cores)[:n_bad]}
+    machines: list[Machine] = []
+    bad_core_ids: list[str] = []
+    for m in range(n_machines):
+        machine_id = f"m{m:05d}"
+        cores = []
+        for c in range(cores_per_machine):
+            core_id = f"{machine_id}/c{c:02d}"
+            defects = ()
+            if m * cores_per_machine + c in bad_slots:
+                bad_core_ids.append(core_id)
+                defects = (
+                    StuckBitDefect(
+                        f"defect/{core_id}",
+                        bit=17,
+                        base_rate=base_rate,
+                        unit=FunctionalUnit.LOAD_STORE,
+                        aging=AgingProfile(onset_days=onset_days),
+                    ),
+                )
+            cores.append(
+                Core(
+                    core_id,
+                    defects=defects,
+                    rng=np.random.default_rng(root.integers(2**63)),
+                )
+            )
+        machines.append(
+            Machine(machine_id=machine_id, product=product, chip=Chip(cores))
+        )
+    return machines, bad_core_ids
+
+
+__all__ = [
+    "ScaleConfig",
+    "ScaleHardening",
+    "ScaleScorecard",
+    "ServeScaleCampaign",
+    "build_scale_fleet",
+]

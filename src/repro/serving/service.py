@@ -64,12 +64,17 @@ class Request:
         payload: bytes the service must echo back intact.
         deadline_ms: end-to-end latency budget.
         arrival_tick: campaign tick the request arrived on.
+        route_key: stable user/session key (consistent-hash routing and
+            the stale-response cache key); 0 when unrouted.
+        cohort: name of the user cohort that issued the request.
     """
 
     request_id: int
     payload: bytes
     deadline_ms: float
     arrival_tick: int = 0
+    route_key: int = 0
+    cohort: str = ""
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -93,6 +98,8 @@ class Response:
     latency_ms: float
     attempts: list[Attempt] = dataclasses.field(default_factory=list)
     validated: bool = False
+    #: served from the degradation tier's stale cache, not a live core
+    stale: bool = False
 
     @property
     def n_attempts(self) -> int:
@@ -124,6 +131,9 @@ class ServerReplica:
         #: chaos hook: force the next N requests to raise machine checks
         self.forced_mce_remaining = 0
         self.requests_served = 0
+        #: attempts routed here (the least-loaded router's load proxy;
+        #: counts picks, not completions, so it is monotone per tick)
+        self.assigned = 0
         # cached so the per-request path pays one attribute test when off
         self._obs_on = obs.enabled()
 

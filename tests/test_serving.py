@@ -172,6 +172,56 @@ class TestCircuitBreaker:
         assert breaker.record_failure(61.0)
         assert breaker.state is BreakerState.OPEN
 
+    def test_open_to_half_open_exactly_at_cooldown_boundary(self):
+        config = BreakerConfig(
+            failure_threshold=1, window_ms=100.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        assert not breaker.allows(49.9)          # still cooling
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allows(50.0)              # inclusive boundary
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_survives_repeated_allows_until_verdict(self):
+        config = BreakerConfig(
+            failure_threshold=1, window_ms=100.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        assert breaker.allows(60.0)
+        # more probe traffic is allowed while the verdict is pending
+        assert breaker.allows(61.0)
+        assert breaker.allows(62.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_clears_failure_history(self):
+        config = BreakerConfig(
+            failure_threshold=2, window_ms=1000.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)              # trips (threshold 2)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allows(60.0)              # half-open probe
+        breaker.record_success(61.0)
+        assert breaker.state is BreakerState.CLOSED
+        # the pre-trip failures must not count toward the next trip
+        assert not breaker.record_failure(62.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        config = BreakerConfig(
+            failure_threshold=1, window_ms=100.0, cooldown_ms=50.0
+        )
+        breaker = CircuitBreaker("c0", config)
+        breaker.record_failure(0.0)
+        assert breaker.allows(60.0)
+        assert breaker.record_failure(70.0)      # failed probe re-trips
+        assert breaker.trips == 2
+        assert not breaker.allows(119.9)         # cooldown from 70.0
+        assert breaker.allows(120.0)
+
     def test_board_emits_trip_event(self):
         log = EventLog()
         board = BreakerBoard(
@@ -199,6 +249,32 @@ class TestLoadShedder:
         admitted = shedder.admit(queue_len=18, arrivals=10, capacity=10)
         assert admitted == 2   # limit 20, room for 2
         assert shedder.shed_count == 8
+
+    def test_queue_exactly_at_limit_admits_nothing(self):
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=2.0))
+        assert shedder.admit(queue_len=20, arrivals=5, capacity=10) == 0
+        assert shedder.shed_count == 5
+
+    def test_one_slot_below_limit_admits_exactly_one(self):
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=2.0))
+        assert shedder.admit(queue_len=19, arrivals=5, capacity=10) == 1
+        assert shedder.shed_count == 4
+
+    def test_arrivals_filling_queue_to_exactly_the_limit_all_admit(self):
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=2.0))
+        assert shedder.admit(queue_len=15, arrivals=5, capacity=10) == 5
+        assert shedder.shed_count == 0
+
+    def test_limit_never_drops_below_one_ticks_capacity(self):
+        # A sub-1.0 factor would starve the service; the floor is the
+        # per-tick capacity itself.
+        shedder = LoadShedder(LoadShedConfig(max_queue_factor=0.5))
+        assert shedder.admit(queue_len=0, arrivals=12, capacity=10) == 10
+        assert shedder.shed_count == 2
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            LoadShedConfig(max_queue_factor=0.0)
 
 
 class TestHardeningConfig:

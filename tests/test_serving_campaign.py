@@ -6,7 +6,7 @@ from repro.serving.campaign import (
     ServingCampaign,
     build_serving_fleet,
 )
-from repro.serving.chaos import ChaosAction, ChaosKind, ChaosSchedule
+from repro.chaos import ChaosAction, ChaosKind, ChaosSchedule
 from repro.serving.robustness import HardeningConfig
 
 TICKS = 300

@@ -1,0 +1,150 @@
+"""Open-loop load generation: profiles, cohorts, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serving.loadgen import (
+    DEFAULT_COHORTS,
+    LoadGenerator,
+    LoadPhase,
+    LoadProfile,
+    UserCohort,
+)
+
+
+class TestUserCohort:
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            UserCohort("bad", weight=0.0)
+
+    def test_rejects_empty_user_space(self):
+        with pytest.raises(ValueError):
+            UserCohort("bad", n_users=0)
+
+    def test_default_population_has_interactive_and_batch(self):
+        names = {c.name for c in DEFAULT_COHORTS}
+        assert names == {"interactive", "batch"}
+        interactive = next(c for c in DEFAULT_COHORTS if c.name == "interactive")
+        batch = next(c for c in DEFAULT_COHORTS if c.name == "batch")
+        # latency-sensitive traffic dominates and has the tighter budget
+        assert interactive.weight > batch.weight
+        assert interactive.deadline_ms < batch.deadline_ms
+
+
+class TestLoadPhase:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LoadPhase(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            LoadPhase(10, -1.0, 1.0)
+
+    def test_interpolates_linearly_between_endpoints(self):
+        phase = LoadPhase(5, 2.0, 10.0)
+        assert phase.rate_at(0) == 2.0
+        assert phase.rate_at(4) == 10.0
+        assert phase.rate_at(2) == 6.0
+
+    def test_single_tick_phase_is_a_point(self):
+        assert LoadPhase(1, 3.0, 9.0).rate_at(0) == 3.0
+
+
+class TestLoadProfile:
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            LoadProfile([])
+
+    def test_steady_is_flat_and_holds_past_the_end(self):
+        profile = LoadProfile.steady(4.0, ticks=10)
+        assert profile.total_ticks == 10
+        assert all(profile.rate_at(t) == 4.0 for t in range(20))
+
+    def test_ramp_covers_exactly_the_requested_ticks(self):
+        profile = LoadProfile.ramp(2.0, 10.0, ticks=100)
+        assert profile.total_ticks == 100
+
+    def test_ramp_warms_up_peaks_and_cools_down(self):
+        profile = LoadProfile.ramp(2.0, 10.0, ticks=100)
+        assert profile.rate_at(0) == 2.0              # warm plateau
+        assert profile.rate_at(60) == 10.0            # hold at peak
+        assert profile.rate_at(99) == 2.0             # cooled back down
+        # the climb is monotone
+        climb = [profile.rate_at(t) for t in range(20, 50)]
+        assert climb == sorted(climb)
+
+
+class TestLoadGenerator:
+    def _stream(self, seed, ticks=40, burst=1.0):
+        gen = LoadGenerator(
+            LoadProfile.ramp(4.0, 12.0, ticks), seed=seed
+        )
+        out = []
+        for tick in range(ticks):
+            for req in gen.arrivals(tick, burst):
+                out.append((
+                    req.request_id, req.payload, req.route_key,
+                    req.cohort, req.deadline_ms, req.arrival_tick,
+                ))
+        return out
+
+    def test_needs_at_least_one_cohort(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(LoadProfile.steady(1.0, 10), cohorts=())
+
+    def test_same_seed_produces_byte_identical_streams(self):
+        assert self._stream(seed=9) == self._stream(seed=9)
+
+    def test_different_seeds_produce_different_streams(self):
+        assert self._stream(seed=9) != self._stream(seed=10)
+
+    def test_request_ids_are_sequential(self):
+        stream = self._stream(seed=3)
+        assert [r[0] for r in stream] == list(range(len(stream)))
+
+    def test_zero_rate_generates_nothing(self):
+        gen = LoadGenerator(LoadProfile.steady(0.0, 10), seed=0)
+        assert all(gen.arrivals(t) == [] for t in range(10))
+        assert gen.generated == 0
+
+    def test_burst_multiplier_zero_silences_the_tick(self):
+        gen = LoadGenerator(LoadProfile.steady(50.0, 10), seed=0)
+        assert gen.arrivals(0, burst_multiplier=0.0) == []
+
+    def test_burst_multiplier_scales_the_arrival_rate(self):
+        quiet = LoadGenerator(LoadProfile.steady(5.0, 200), seed=1)
+        loud = LoadGenerator(LoadProfile.steady(5.0, 200), seed=1)
+        n_quiet = sum(len(quiet.arrivals(t, 1.0)) for t in range(200))
+        n_loud = sum(len(loud.arrivals(t, 3.0)) for t in range(200))
+        assert n_loud > 2 * n_quiet
+
+    def test_open_loop_arrivals_ignore_consumer_behaviour(self):
+        # The defining property: the request stream is a function of
+        # (seed, tick sequence) alone.  A "consumer" that drops every
+        # request sees the identical stream as one that serves them.
+        assert self._stream(seed=5) == self._stream(seed=5)
+
+    def test_cohort_key_spaces_are_disjoint(self):
+        gen = LoadGenerator(LoadProfile.steady(20.0, 60), seed=2)
+        keys = {"interactive": set(), "batch": set()}
+        for tick in range(60):
+            for req in gen.arrivals(tick):
+                keys[req.cohort].add(req.route_key)
+        assert keys["batch"] and keys["interactive"]
+        # cohorts sort by name: batch owns [0, 64), interactive the rest
+        assert max(keys["batch"]) < 64
+        assert min(keys["interactive"]) >= 64
+        assert not keys["batch"] & keys["interactive"]
+
+    def test_payload_size_and_deadline_follow_the_cohort(self):
+        sizes = {c.name: c.payload_bytes for c in DEFAULT_COHORTS}
+        deadlines = {c.name: c.deadline_ms for c in DEFAULT_COHORTS}
+        gen = LoadGenerator(LoadProfile.steady(20.0, 30), seed=4)
+        for tick in range(30):
+            for req in gen.arrivals(tick):
+                assert len(req.payload) == sizes[req.cohort]
+                assert req.deadline_ms == deadlines[req.cohort]
+                assert req.arrival_tick == tick
+
+    def test_poisson_mean_tracks_the_profile_rate(self):
+        gen = LoadGenerator(LoadProfile.steady(8.0, 500), seed=6)
+        counts = [len(gen.arrivals(t)) for t in range(500)]
+        assert abs(float(np.mean(counts)) - 8.0) < 0.5

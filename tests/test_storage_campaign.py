@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.chaos import ChaosKind, ChaosSchedule
 from repro.core.events import EventKind
 from repro.storage import (
@@ -45,8 +47,9 @@ class TestStorageChaosSchedule:
         assert ticks == sorted(ticks)
         assert all(action.at_tick < 600 for action in schedule.actions)
 
-    def test_serving_shim_still_exports_the_shared_chaos(self):
-        from repro.serving.chaos import ChaosSchedule as ShimSchedule
+    def test_serving_shim_warns_but_still_exports_the_shared_chaos(self):
+        with pytest.warns(DeprecationWarning, match="repro.chaos"):
+            from repro.serving.chaos import ChaosSchedule as ShimSchedule
 
         assert ShimSchedule is ChaosSchedule
 
