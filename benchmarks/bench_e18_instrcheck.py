@@ -1,0 +1,66 @@
+"""E18 — instruction-level checking: the cost-vs-coverage grid."""
+
+from benchmarks.conftest import is_ci_scale
+
+from repro.analysis.experiments import run_instrcheck_grid
+
+
+def test_e18_instrcheck_grid(benchmark, show):
+    units = 160 if is_ci_scale() else 320
+    result = benchmark.pedantic(
+        run_instrcheck_grid, kwargs=dict(units=units), rounds=1, iterations=1
+    )
+    show(result["rendered"])
+
+    assert result["arms"] == ["screen", "ithica", "reptfd", "meek", "e2e"]
+    full_rate = result["rates"][-1]
+    low, high = result["prevalences"]
+
+    # The headline physics, on the measured grid:
+    # cross-core arms dominate same-core duplication once a
+    # deterministic operand-pattern core joins the fleet...
+    assert result["cross_core_wins"]
+    # ...and every in-flight checking arm catches at least as much
+    # pre-propagation as screening, which catches cores, not results.
+    assert result["precatch_beats_screening"]
+
+    grid = result["grid"]
+    # ITHICA at the probabilistic-only prevalence is the cheap hero,
+    # then collapses when the deterministic core appears.
+    assert grid[low]["ithica"][full_rate].coverage == 1.0
+    assert grid[high]["ithica"][full_rate].coverage < 0.5
+    assert grid[high]["ithica"][full_rate].cees_escaped > 0
+
+    # MEEK and RepTFD pay a second core but see the deterministic core.
+    for arm in ("meek", "reptfd"):
+        assert grid[high][arm][full_rate].coverage > \
+            grid[high]["ithica"][full_rate].coverage
+
+    # RepTFD is the only arm that corrects what it catches: at full
+    # sampling nothing escapes and rollbacks delivered correct bytes.
+    reptfd = grid[high]["reptfd"][full_rate]
+    assert reptfd.cees_escaped == 0
+    assert reptfd.flagged_clean_units > 0
+    assert reptfd.replays > 0
+
+    # MEEK's bounded check-lag queue overruns at full sampling:
+    # coverage honestly lost and accounted, never silently.
+    assert grid[high]["meek"][full_rate].lag_drops > 0
+
+    # Screening's pre-propagation coverage is ~zero by construction,
+    # but it does quarantine the bad cores (stops the bleeding).
+    for key in (low, high):
+        screen = grid[key]["screen"][full_rate]
+        assert screen.cees_caught == 0
+        assert screen.quarantine_tick
+
+    # Cost monotonicity: more sampling is never cheaper, and every
+    # slowdown stays under the naive 3x TMR bill the paper dreads.
+    for key in (low, high):
+        for arm in result["arms"]:
+            slowdowns = [
+                grid[key][arm][rate].slowdown_factor
+                for rate in result["rates"]
+            ]
+            assert slowdowns == sorted(slowdowns)
+            assert all(1.0 <= s < 3.0 for s in slowdowns)

@@ -47,6 +47,13 @@ from repro.fleet.scheduler import FleetScheduler, Task
 from repro.fleet.simulator import FleetSimulator, SimulatorConfig
 from repro.obs.forensics import latency_percentiles
 from repro.mitigation.checkpoint import CheckpointRuntime
+from repro.mitigation.instrcheck import (
+    ARMS as INSTRCHECK_ARMS,
+    InstrCheckCampaign,
+    InstrCheckConfig,
+    InstrCheckScorecard,
+    build_instrcheck_fleet,
+)
 from repro.serving import (
     CampaignConfig,
     ChaosSchedule,
@@ -1538,6 +1545,147 @@ def run_serve_at_scale(
     }
 
 
+# ---------------------------------------------------------------------
+# E18 — instruction-level checking: cost vs coverage across arms
+# ---------------------------------------------------------------------
+
+def _instrcheck_cell(
+    cell: tuple[float, str, float],
+    *,
+    units: int,
+    seed: int,
+) -> tuple[float, str, float, "InstrCheckScorecard", int]:
+    """Run one (prevalence, arm, sampling rate) E18 cell; module-level
+    so the pool can pickle it.
+
+    The fleet seed depends only on the campaign seed and prevalence, so
+    every arm × rate at one prevalence faces the *identical* mercurial
+    cores, and a cell's scorecard is byte-identical regardless of which
+    worker runs it.
+    """
+    prevalence, arm, rate = cell
+    machines, bad_core_ids = build_instrcheck_fleet(
+        prevalence=prevalence, seed=seed + 7
+    )
+    config = InstrCheckConfig(
+        units=units,
+        sample_rate=rate,
+        # The screening arm spends its budget as battery frequency, not
+        # per-op duplication: a higher "rate" screens more often.
+        screen_interval_ticks=max(1, round(1.0 / max(rate, 1e-9))),
+    )
+    campaign = InstrCheckCampaign(machines, arm, config, seed=seed + 3)
+    return prevalence, arm, rate, campaign.run(), len(bad_core_ids)
+
+
+def run_instrcheck_grid(
+    units: int = 320,
+    prevalences: tuple[float, ...] = (0.125, 0.25),
+    rates: tuple[float, ...] = (0.1, 0.33, 1.0),
+    seed: int = 0,
+    workers: int | None = None,
+) -> dict:
+    """E18: instruction-level checking arms on a cost-vs-coverage grid.
+
+    Races the three literature arms (ITHICA same-core duplication, MEEK
+    heterogeneous checker pairing, RepTFD checkpointed replay) plus the
+    two in-repo reference points (E9 periodic screening, E11 end-to-end
+    checks) across a sampling-rate × defect-prevalence grid, measuring
+    each cell's slowdown factor against the fraction of CEE-affected
+    work units caught before propagation.
+
+    Expected shape: ITHICA is the cheap arm and looks perfect while the
+    only bad core is *probabilistic*, then collapses at the prevalence
+    step that introduces a deterministic operand-pattern core (both of
+    its executions corrupt identically — the §2 self-inverting AES
+    story).  MEEK and RepTFD pay a second core but catch deterministic
+    CEEs; MEEK's bounded check-lag queue starts dropping coverage at
+    full sampling, and RepTFD is the only arm that *corrects* what it
+    catches (rollback re-run).  Screening catches cores, never
+    in-flight results — its pre-propagation coverage is honestly ~0.
+    """
+    cells = [
+        (prevalence, arm, rate)
+        for prevalence in prevalences
+        for arm in INSTRCHECK_ARMS
+        for rate in rates
+    ]
+    cell_fn = functools.partial(_instrcheck_cell, units=units, seed=seed)
+    results = run_tasks(cell_fn, cells, workers=workers)
+
+    grid: dict[str, dict[str, dict[str, InstrCheckScorecard]]] = {}
+    n_bad_by_prevalence: dict[str, int] = {}
+    for prevalence, arm, rate, card, n_bad in results:
+        key = f"{prevalence:g}"
+        grid.setdefault(key, {}).setdefault(arm, {})[f"{rate:g}"] = card
+        n_bad_by_prevalence[key] = n_bad
+
+    rows = []
+    comparisons: dict[str, dict] = {}
+    for prevalence in prevalences:
+        key = f"{prevalence:g}"
+        for arm in INSTRCHECK_ARMS:
+            for rate in rates:
+                rows.append([key] + grid[key][arm][f"{rate:g}"].summary_row())
+        full = {arm: grid[key][arm][f"{rates[-1]:g}"]
+                for arm in INSTRCHECK_ARMS}
+        comparisons[key] = {
+            "n_bad_cores": n_bad_by_prevalence[key],
+            "coverage_at_full_rate": {
+                arm: card.coverage for arm, card in full.items()
+            },
+            "slowdown_at_full_rate": {
+                arm: card.slowdown_factor for arm, card in full.items()
+            },
+            "meek_lag_drops_at_full_rate": full["meek"].lag_drops,
+            "reptfd_corrected": full["reptfd"].flagged_clean_units,
+        }
+
+    # The headline claims, checked over the measured grid:
+    # cross-core arms dominate same-core duplication once a
+    # deterministic defect is in the fleet...
+    high = f"{prevalences[-1]:g}"
+    full_rate = f"{rates[-1]:g}"
+    cross_core_wins = all(
+        grid[high][arm][full_rate].coverage
+        > grid[high]["ithica"][full_rate].coverage
+        for arm in ("meek", "reptfd")
+    )
+    # ...and every checking arm beats screening at catching CEEs
+    # *before* they propagate (screening only catches cores).
+    precatch_beats_screening = all(
+        grid[key][arm][full_rate].coverage
+        >= grid[key]["screen"][full_rate].coverage
+        for key in (f"{p:g}" for p in prevalences)
+        for arm in ("ithica", "meek", "reptfd", "e2e")
+    )
+
+    rendered = render_table(
+        ["prev", "arm", "rate", "slowdown", "coverage", "caught",
+         "escaped", "lagdrops", "quarantined"],
+        rows,
+        title=f"E18: instruction-level checking ({units} units/cell)",
+    ) + "".join(
+        f"\nprev {key}: full-rate coverage "
+        + ", ".join(
+            f"{arm} {comp['coverage_at_full_rate'][arm]:.0%}"
+            for arm in INSTRCHECK_ARMS
+        )
+        + f" ({comp['n_bad_cores']} bad cores)"
+        for key, comp in comparisons.items()
+    )
+    return {
+        "grid": grid,
+        "comparisons": comparisons,
+        "prevalences": [f"{p:g}" for p in prevalences],
+        "arms": list(INSTRCHECK_ARMS),
+        "rates": [f"{r:g}" for r in rates],
+        "cross_core_wins": cross_core_wins,
+        "precatch_beats_screening": precatch_beats_screening,
+        "rendered": rendered,
+    }
+
+
 #: registry mapping experiment id → (title, runner)
 EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "F1": ("Fig. 1: reported CEE rates (normalized)", run_fig1),
@@ -1559,4 +1707,6 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "E16": ("Storage under CEE: durable-path chaos", run_storage_under_cee),
     "E17": ("Serve at scale: prevalence × mitigation-spend grid",
             run_serve_at_scale),
+    "E18": ("Instruction-level checking: cost vs coverage grid",
+            run_instrcheck_grid),
 }

@@ -15,6 +15,8 @@ Usage::
     python -m repro cases                 # the §2 named defect case studies
     python -m repro bench --scale ci      # perf scorecards -> BENCH_<ID>.json
     python -m repro bench serve-scale     # the E17 grid -> BENCH_E17.json
+    python -m repro bench instrcheck      # the E18 grid -> BENCH_E18.json
+    python -m repro trace e18             # instrcheck catch-attribution timeline
     python -m repro run E1 --trials 8 --workers 4   # parallel Monte-Carlo
     python -m repro metrics e15           # Prometheus-text metric dump
     python -m repro metrics e16 --format json   # JSON metric snapshot
@@ -49,6 +51,7 @@ _CI_KWARGS: dict[str, dict] = {
     "E15": dict(ticks=250),
     "E16": dict(ticks=200),
     "E17": dict(ticks=200),
+    "E18": dict(units=160),
 }
 
 #: campaign experiments with ``--json`` scorecard output: experiment id
@@ -192,6 +195,24 @@ def _obs_campaign(source: str, seed: int) -> tuple:
             onset_age=400.0,
         )
         return card, events, bad_core_id, CampaignConfig().tick_ms
+    if source == "e18":
+        from repro.mitigation.instrcheck import (
+            InstrCheckCampaign,
+            InstrCheckConfig,
+            build_instrcheck_fleet,
+        )
+
+        # The MEEK arm has the richest signal mix: checker mismatches,
+        # lag-overflow breadcrumbs, quarantines and lane re-placement.
+        machines, bad_core_ids = build_instrcheck_fleet(
+            prevalence=0.25, seed=seed + 7
+        )
+        config = InstrCheckConfig(units=_CI_KWARGS["E18"]["units"])
+        campaign = InstrCheckCampaign(machines, "meek", config, seed=seed + 3)
+        card = campaign.run()
+        return (
+            card, campaign.events, ",".join(bad_core_ids), config.tick_ms,
+        )
     from repro.analysis.experiments import _storage_campaign
     from repro.storage.campaign import StorageCampaignConfig
 
@@ -232,7 +253,11 @@ def _cmd_trace(args) -> int:
 
     seed = 0 if args.seed is None else args.seed
     card, events, bad_core_id, tick_ms = _obs_campaign(args.campaign, seed)
-    arm = "E15 hardened" if args.campaign == "e15" else "E16 protected"
+    arm = {
+        "e15": "E15 hardened",
+        "e16": "E16 protected",
+        "e18": "E18 instrcheck (meek)",
+    }[args.campaign]
     print(render_forensics(
         f"{arm}, seed {seed}, bad core {bad_core_id}",
         card.detection_latency_ms, events, obs.tracer.drain(), tick_ms,
@@ -350,7 +375,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run an instrumented campaign; dump the metric registry",
     )
     metrics_parser.add_argument(
-        "source", nargs="?", choices=("e1", "e15", "e16"), default="e15",
+        "source", nargs="?", choices=("e1", "e15", "e16", "e18"),
+        default="e15",
         help="which campaign to instrument (default: e15)",
     )
     metrics_parser.add_argument(
@@ -365,7 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run an instrumented campaign; print corruption forensics",
     )
     trace_parser.add_argument(
-        "campaign", nargs="?", choices=("e15", "e16"), default="e15",
+        "campaign", nargs="?", choices=("e15", "e16", "e18"), default="e15",
         help="which chaos campaign to trace (default: e15)",
     )
     trace_parser.add_argument(

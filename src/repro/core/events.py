@@ -37,6 +37,9 @@ class EventKind(enum.Enum):
     RETRY_BUDGET_EXHAUSTED = "retry_budget_exhausted"  # retry tokens drained
     SHARD_DEGRADED = "shard_degraded"             # shard entered a degraded tier
     AUTOSCALE_ACTION = "autoscale_action"         # replica added or drained
+    INSTRCHECK_MISMATCH = "instrcheck_mismatch"   # duplicate-execution digest split
+    CHECKER_LAG_OVERFLOW = "checker_lag_overflow"  # MEEK check queue dropped entries
+    REPLAY_DIVERGENCE = "replay_divergence"       # replayed granule disagreed
 
 
 class Reporter(enum.Enum):

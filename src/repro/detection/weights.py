@@ -63,6 +63,14 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         "miscomputation (the §5.2 unrecoverable-encryption incident, "
         "caught before the ack)",
     ),
+    EventKind.INSTRCHECK_MISMATCH: SuspicionWeight(
+        2.8,
+        "a duplicated instruction stream disagreed with the primary "
+        "execution (ITHICA same-core re-run or a MEEK checker core); a "
+        "per-op divergence on known operands is nearly a confession, "
+        "kept just under SCREEN_FAIL because a heterogeneous checker "
+        "pair leaves residual ambiguity about *which* core miscomputed",
+    ),
     EventKind.MACHINE_CHECK: SuspicionWeight(
         2.5,
         "logged MCEs are hard hardware evidence, though not always "
@@ -73,6 +81,13 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         "a voted quorum read found one replica disagreeing with the "
         "majority; the divergent bytes implicate that replica's core "
         "directly (Spanner-style dual computation, §7)",
+    ),
+    EventKind.REPLAY_DIVERGENCE: SuspicionWeight(
+        2.4,
+        "a checkpoint-delimited granule replayed on a second core "
+        "produced a different digest (RepTFD-style replay detection); "
+        "cross-core confirmed like QUORUM_MISMATCH but coarser — the "
+        "granule spans many ops, so attribution inside it is indirect",
     ),
     EventKind.WAL_CORRUPTION: SuspicionWeight(
         2.0,
@@ -134,6 +149,12 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         "a shard fell into a degradation tier (shed / serve-stale / "
         "fail-closed); cluster-level symptom with no core attribution "
         "of its own — kept for forensics timelines, near-zero evidence",
+    ),
+    EventKind.CHECKER_LAG_OVERFLOW: SuspicionWeight(
+        0.2,
+        "the MEEK check-lag queue overflowed and dropped entries; an "
+        "operational breadcrumb about lost *coverage*, not evidence of "
+        "miscomputation — logged so forensics can explain blind spots",
     ),
     EventKind.AUTOSCALE_ACTION: SuspicionWeight(
         0.1,

@@ -396,6 +396,83 @@ def bench_serve_scale(scale: str, workers: int) -> BenchScorecard:
     )
 
 
+def bench_instrcheck(scale: str, workers: int) -> BenchScorecard:
+    """E18 instruction-level checking grid: serial vs engine fan-out,
+    plus the worker-count invariance gate.
+
+    Runs the sampling-rate × prevalence grid for all five checking arms
+    twice — ``workers=1`` as the timing baseline, then fanned out — and
+    fingerprints both grids.  The fingerprints must match: every cell
+    seeds its own fleet and campaign, so a cell's scorecard is
+    bit-identical no matter which worker ran it.  The committed card
+    carries the headline cost-vs-coverage numbers (per-arm slowdown and
+    fraction of CEEs caught pre-propagation at full sampling) so the
+    EXPERIMENTS.md claims are pinned to a measured artifact.
+    """
+    import hashlib
+
+    from repro.analysis.experiments import run_instrcheck_grid
+
+    units = 160 if scale == "ci" else 320
+    prevalences = (0.125, 0.25)
+    rates = (0.1, 0.33, 1.0)
+
+    def fingerprint(result: dict) -> str:
+        payload = {
+            prevalence: {
+                arm: {rate: card.to_json() for rate, card in by_rate.items()}
+                for arm, by_rate in arms.items()
+            }
+            for prevalence, arms in result["grid"].items()
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
+    baseline_s, serial = _timed(
+        lambda: run_instrcheck_grid(
+            units=units, prevalences=prevalences, rates=rates, workers=1
+        )
+    )
+    wall_s, fanned = _timed(
+        lambda: run_instrcheck_grid(
+            units=units, prevalences=prevalences, rates=rates,
+            workers=workers,
+        )
+    )
+    serial_fp = fingerprint(serial)
+    fanned_fp = fingerprint(fanned)
+
+    cells = len(fanned["arms"]) * len(prevalences) * len(rates)
+    total_units = cells * units
+    return BenchScorecard(
+        bench_id="e18",
+        title="E18 instrcheck grid (serial vs engine, invariance-gated)",
+        scale=scale,
+        workers=workers,
+        wall_s=wall_s,
+        baseline_wall_s=baseline_s,
+        speedup=baseline_s / max(wall_s, 1e-9),
+        trials=cells,
+        trials_per_s=cells / max(wall_s, 1e-9),
+        ticks=total_units,
+        ticks_per_s=total_units / max(wall_s, 1e-9),
+        baseline_ticks_per_s=total_units / max(baseline_s, 1e-9),
+        tick_speedup=baseline_s / max(wall_s, 1e-9),
+        metrics={
+            "units_per_cell": units,
+            "prevalences": [f"{p:g}" for p in prevalences],
+            "rates": [f"{r:g}" for r in rates],
+            "arms": list(fanned["arms"]),
+            "comparisons": fanned["comparisons"],
+            "cross_core_wins": fanned["cross_core_wins"],
+            "precatch_beats_screening": fanned["precatch_beats_screening"],
+            "worker_invariant": serial_fp == fanned_fp,
+            "grid_fingerprint": fanned_fp,
+        },
+    )
+
+
 def bench_obs(scale: str, workers: int) -> BenchScorecard:
     """Observability overhead: REPRO_OBS=off must be (nearly) free.
 
@@ -480,6 +557,7 @@ BENCHMARKS: dict[str, tuple[str, Callable[[str, int], BenchScorecard]]] = {
     "e15": ("E15 serving campaign: uncached serial vs engine", bench_e15),
     "e16": ("E16 storage campaign: uncached serial vs engine", bench_e16),
     "serve-scale": ("E17 serve-at-scale grid: serial vs engine", bench_serve_scale),
+    "instrcheck": ("E18 instrcheck grid: serial vs engine", bench_instrcheck),
     "obs": ("Observability overhead: off-mode A/A vs on", bench_obs),
 }
 

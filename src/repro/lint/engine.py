@@ -71,6 +71,8 @@ class LintConfig:
         "src/repro/core/events.py",
         "src/repro/engine/runner.py",
         "src/repro/fleet/machine.py",
+        "src/repro/mitigation/instrcheck/campaign.py",
+        "src/repro/mitigation/instrcheck/policies.py",
         "src/repro/serving/service.py",
         "src/repro/silicon/defects.py",
         "src/repro/silicon/isa.py",

@@ -1,0 +1,49 @@
+"""Instruction-level checking arms (§7's "continuous verification").
+
+Three literature-anchored policies for catching a CEE *while the
+computation is still in flight*, each wrapping the same per-op
+execution surface (:meth:`Core.execute <repro.silicon.core.Core.execute>`)
+so any workload that ducks through a core — including the
+:class:`~repro.silicon.vm.Vm` — can be checked without modification:
+
+- :class:`~repro.mitigation.instrcheck.policies.IthicaCheckedCore` —
+  ITHICA-style intra-thread duplicate execution on the *same* core;
+- :class:`~repro.mitigation.instrcheck.policies.MeekCheckedCore` —
+  MEEK-style heterogeneous pairing with a second checker core behind a
+  bounded check-lag queue;
+- :class:`~repro.mitigation.instrcheck.policies.ReplayChecker` —
+  RepTFD-style checkpoint-delimited replay with rollback on divergence.
+
+:mod:`~repro.mitigation.instrcheck.campaign` races the arms against
+mercurial cores and scores slowdown vs coverage (experiment E18).
+"""
+
+from repro.mitigation.instrcheck.campaign import (
+    ARMS,
+    InstrCheckCampaign,
+    InstrCheckConfig,
+    InstrCheckScorecard,
+    build_instrcheck_fleet,
+)
+from repro.mitigation.instrcheck.policies import (
+    InstrCheckStats,
+    IthicaCheckedCore,
+    MeekCheckedCore,
+    OpSampler,
+    ReplayChecker,
+    result_digest,
+)
+
+__all__ = [
+    "ARMS",
+    "InstrCheckCampaign",
+    "InstrCheckConfig",
+    "InstrCheckScorecard",
+    "InstrCheckStats",
+    "IthicaCheckedCore",
+    "MeekCheckedCore",
+    "OpSampler",
+    "ReplayChecker",
+    "build_instrcheck_fleet",
+    "result_digest",
+]

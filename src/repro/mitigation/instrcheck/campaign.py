@@ -1,0 +1,825 @@
+"""Instrcheck campaigns: checking arms racing corruption to delivery.
+
+One campaign drives a deterministic op-stream workload across a small
+fleet under ONE checking arm and scores it on the two axes the §7
+tradeoff is about:
+
+- **slowdown factor** — total executed operations (payload plus
+  duplicates, checker re-executions, replays, rollback waste, screen
+  batteries) relative to the unchecked run;
+- **coverage** — the fraction of CEE-affected work units the arm
+  flagged before the result propagated downstream, versus the units
+  delivered corrupt with no flag (escapes).
+
+Arms:
+
+``ithica``
+    :class:`~repro.mitigation.instrcheck.policies.IthicaCheckedCore`
+    per lane — same-core duplicate execution of sampled ops.
+``meek``
+    :class:`~repro.mitigation.instrcheck.policies.MeekCheckedCore`
+    per lane, all lanes sharing one checker core drawn via
+    :meth:`FleetScheduler.schedule(exclude_core_ids=...)
+    <repro.fleet.scheduler.FleetScheduler.schedule>` — the checker
+    drains each lane's bounded lag queue at a fixed per-tick budget.
+``reptfd``
+    :class:`~repro.mitigation.instrcheck.policies.ReplayChecker` per
+    lane — granule-delimited commits with sampled replay on the
+    checker core and rollback re-runs on spare cores.
+``e2e``
+    the E11 end-to-end check as a reference point: a sampled fraction
+    of whole units is re-executed on a trusted client core (healthy by
+    construction — the end-to-end argument needs one honest endpoint)
+    and digest-compared before delivery.
+``screen``
+    the E9 online-screening reference: no per-op checks at all; a
+    periodic screening battery runs on each lane core and a failure is
+    a confession.  Screening catches *cores*, never in-flight results,
+    so its pre-propagation coverage is honestly ~zero — every corrupt
+    unit delivered before quarantine is an escape — but it stops the
+    bleeding cheaply.
+
+Every catch becomes a weighted :class:`~repro.core.events.CeeEvent`
+(``INSTRCHECK_MISMATCH``, ``REPLAY_DIVERGENCE``, ``SCREEN_FAIL``,
+``APP_REPORT``; queue overflow logs ``CHECKER_LAG_OVERFLOW``) feeding
+the standard analyzer → quarantine loop, so instrcheck catches are
+attributable in ``repro trace`` forensics timelines and a condemned
+lane is re-placed on a spare core through the fleet scheduler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.core.confidence import SuspicionTracker
+from repro.core.events import CeeEvent, EventKind, EventLog, Reporter
+from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
+from repro.detection.signals import SignalAnalyzer
+from repro.fleet.machine import Machine
+from repro.fleet.product import CpuProduct
+from repro.fleet.scheduler import FleetScheduler, Task
+from repro.mitigation.checkpoint import GranuleFailedError
+from repro.mitigation.instrcheck.policies import (
+    InstrCheckStats,
+    IthicaCheckedCore,
+    MeekCheckedCore,
+    ReplayChecker,
+    WorkUnit,
+    _hash01,
+    result_digest,
+)
+from repro.obs.forensics import detection_latency_summary
+from repro.silicon.core import Chip, Core
+from repro.silicon.defects import OperandPatternDefect, StuckBitDefect
+from repro.silicon.errors import CoreOfflineError, MachineCheckError
+from repro.silicon.golden import golden_execute
+from repro.silicon.units import FunctionalUnit, Op
+from repro.workloads.base import digest_ints
+
+MS_PER_DAY = 86_400_000.0
+
+#: the checking arms a campaign can run, cheapest-to-check first
+ARMS: tuple[str, ...] = ("screen", "ithica", "reptfd", "meek", "e2e")
+
+#: the op mix every work unit draws from (ALU-heavy, §2's archetypes)
+UNIT_OPS: tuple[str, ...] = (
+    Op.ADD, Op.SUB, Op.XOR, Op.CMP, Op.ADD, Op.MUL, Op.LOAD, Op.STORE,
+)
+
+
+@dataclasses.dataclass(slots=True)
+class InstrCheckConfig:
+    """Workload, capacity and timing knobs for one instrcheck campaign."""
+
+    units: int = 320
+    unit_ops: int = 16
+    n_lanes: int = 4
+    sample_rate: float = 0.33
+    tick_ms: float = 2.0
+    #: MEEK: bounded check-lag queue length per lane
+    lag_limit: int = 64
+    #: MEEK: checker-core drain budget per lane per tick
+    drain_per_tick: int = 12
+    #: RepTFD: units per checkpoint-delimited granule
+    granule_units: int = 4
+    #: screen arm: ticks between screening batteries (per lane core)
+    screen_interval_ticks: int = 4
+    #: screen arm: ops per battery
+    screen_ops: int = 24
+    #: operand magnitude for generated units
+    operand_bits: int = 20
+    #: quarantine capacity sized for multi-bad-core prevalence cells
+    policy: PolicyConfig = dataclasses.field(
+        default_factory=lambda: PolicyConfig(max_quarantined_fraction=0.5)
+    )
+
+
+@dataclasses.dataclass(slots=True)
+class InstrCheckScorecard:
+    """What one (arm, sampling rate) configuration achieved."""
+
+    name: str
+    sample_rate: float = 0.0
+    units_total: int = 0
+    units_delivered: int = 0
+    units_crashed: int = 0
+    #: CEE-affected units the arm flagged before propagation
+    cees_caught: int = 0
+    #: corrupt units delivered with no flag (the silent hazard)
+    cees_escaped: int = 0
+    #: flagged units whose delivered output was nonetheless correct
+    #: (RepTFD rollback corrections; ITHICA duplicate-run corruptions)
+    flagged_clean_units: int = 0
+    screen_fails: int = 0
+    machine_checks: int = 0
+    payload_ops: int = 0
+    check_ops: int = 0
+    ops_sampled: int = 0
+    mismatches: int = 0
+    lag_drops: int = 0
+    replays: int = 0
+    ticks: int = 0
+    quarantine_tick: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: ground truth: first tick each core demonstrably corrupted
+    first_corrupt_tick: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: per-incident stage latencies (see repro.obs.forensics)
+    detection_latency_ms: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Total executed ops relative to the unchecked baseline."""
+        if self.payload_ops == 0:
+            return 1.0
+        return (self.payload_ops + self.check_ops) / self.payload_ops
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of CEE-affected units caught before propagation."""
+        total = self.cees_caught + self.cees_escaped
+        if total == 0:
+            return 1.0
+        return self.cees_caught / total
+
+    def summary_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.sample_rate:g}",
+            f"{self.slowdown_factor:.2f}x",
+            f"{self.coverage:.1%}",
+            str(self.cees_caught),
+            str(self.cees_escaped),
+            str(self.lag_drops),
+            str(len(self.quarantine_tick)),
+        ]
+
+    def to_json(self) -> dict:
+        """Machine-readable scorecard (the E18 grid embeds these)."""
+        return {
+            "name": self.name,
+            "sample_rate": self.sample_rate,
+            "units_total": self.units_total,
+            "units_delivered": self.units_delivered,
+            "units_crashed": self.units_crashed,
+            "cees_caught": self.cees_caught,
+            "cees_escaped": self.cees_escaped,
+            "coverage": self.coverage,
+            "flagged_clean_units": self.flagged_clean_units,
+            "slowdown_factor": self.slowdown_factor,
+            "payload_ops": self.payload_ops,
+            "check_ops": self.check_ops,
+            "ops_sampled": self.ops_sampled,
+            "mismatches": self.mismatches,
+            "lag_drops": self.lag_drops,
+            "replays": self.replays,
+            "screen_fails": self.screen_fails,
+            "machine_checks": self.machine_checks,
+            "ticks": self.ticks,
+            "quarantine_tick": dict(sorted(self.quarantine_tick.items())),
+            "first_corrupt_tick": dict(
+                sorted(self.first_corrupt_tick.items())
+            ),
+            "detection_latency_ms": self.detection_latency_ms,
+        }
+
+
+class _Lane:
+    """One worker lane: a primary core plus its arm-specific wrapper."""
+
+    __slots__ = ("index", "core", "wrapper", "replayer", "buffer",
+                 "buffer_tags")
+
+    def __init__(self, index: int, core: Core):
+        self.index = index
+        self.core = core
+        self.wrapper = None
+        self.replayer: ReplayChecker | None = None
+        self.buffer: list[WorkUnit] = []
+        self.buffer_tags: list[int] = []
+
+
+class InstrCheckCampaign:
+    """One arm, one fleet, one deterministic op stream, one scorecard."""
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        arm: str,
+        config: InstrCheckConfig | None = None,
+        seed: int = 0,
+    ):
+        if arm not in ARMS:
+            raise ValueError(f"unknown arm {arm!r}; known: {ARMS}")
+        self.machines = machines
+        self.arm = arm
+        self.config = config or InstrCheckConfig()
+        self.seed = seed
+
+        self.events = EventLog()
+        self._core_by_id: dict[str, Core] = {}
+        self._machine_by_core: dict[str, str] = {}
+        for machine in machines:
+            for core in machine.cores:
+                self._core_by_id[core.core_id] = core
+                self._machine_by_core[core.core_id] = machine.machine_id
+
+        n_cores = len(self._core_by_id)
+        self.analyzer = SignalAnalyzer(tracker=SuspicionTracker())
+        self.policy = QuarantinePolicy(
+            self.config.policy, fleet_cores=n_cores
+        )
+        self.scheduler = FleetScheduler(machines)
+        self.stats = InstrCheckStats()
+        self.scorecard = InstrCheckScorecard(
+            name=arm, sample_rate=self.config.sample_rate
+        )
+
+        # Deterministic workload: units and expected digests up front.
+        rng = np.random.default_rng(seed)
+        hi = 2 ** self.config.operand_bits
+        self.units: list[WorkUnit] = []
+        for _ in range(self.config.units):
+            unit = []
+            for _ in range(self.config.unit_ops):
+                op = UNIT_OPS[int(rng.integers(len(UNIT_OPS)))]
+                a = int(rng.integers(hi))
+                b = int(rng.integers(hi))
+                operands = (a,) if op == Op.LOAD or op == Op.STORE else (a, b)
+                unit.append((op, operands))
+            self.units.append(tuple(unit))
+        self.expected = [self._golden_digest(u) for u in self.units]
+        self._screen_rng = np.random.default_rng(seed + 11)
+
+        # Lane placement through the scheduler; the MEEK/RepTFD checker
+        # core is drawn with the worker cores excluded.
+        tasks = [Task(f"lane/{i}") for i in range(self.config.n_lanes)]
+        placements, _ = self.scheduler.schedule(tasks)
+        if len(placements) < self.config.n_lanes:
+            raise ValueError("fleet too small for the requested lane count")
+        self.lanes = [
+            _Lane(i, self._core_by_id[p.core_id])
+            for i, p in enumerate(placements)
+        ]
+        worker_ids = {lane.core.core_id for lane in self.lanes}
+        self.checker_core: Core | None = None
+        if arm in ("meek", "reptfd"):
+            checker_placed, _ = self.scheduler.schedule(
+                [Task("checker")], exclude_core_ids=worker_ids
+            )
+            if not checker_placed:
+                raise ValueError("no spare core available as checker")
+            self.checker_core = self._core_by_id[checker_placed[0].core_id]
+        # The E11-style end-to-end check runs on the client's own core,
+        # trusted by construction.
+        self.client_core = Core(
+            "client/c00", rng=np.random.default_rng(seed + 1)
+        )
+
+        self._caught: set[int] = set()
+        self._delivered: dict[int, int] = {}
+        self._confessed: set[str] = set()
+        self._events_seen = 0
+        self._lane_generation = 0
+        self._current_tick = 0
+        self._overflow_tick: dict[str, int] = {}
+
+        # Ground-truth corruption watcher; unconditional so scorecards
+        # are byte-identical with obs on or off.
+        self._corruption_base = {
+            core_id: core.corruptions_induced
+            for core_id, core in self._core_by_id.items()
+        }
+        self._first_corrupt_tick: dict[str, int] = {}
+
+        self._now_ms = 0.0
+        self._ops_checked_seen = 0
+        self._obs_on = obs.enabled()
+        if self._obs_on:
+            obs.tracer.set_clock(lambda: self._now_ms)
+            self._m_ops_checked = obs.metrics.counter(
+                "instrcheck_ops_checked_total",
+                help="ops re-executed by a checking arm (duplicates, "
+                     "checker stream, replays)",
+                unit="ops",
+            )
+            self._m_mismatches = obs.metrics.counter(
+                "instrcheck_mismatches_total",
+                help="duplicate/checker digest disagreements",
+                unit="events",
+            )
+            self._m_lag_drops = obs.metrics.counter(
+                "instrcheck_lag_drops_total",
+                help="check-stream entries dropped on lag-queue overflow "
+                     "(coverage lost)",
+                unit="entries",
+            )
+            self._m_replays = obs.metrics.counter(
+                "instrcheck_replays_total",
+                help="granules replayed on the checker core (RepTFD)",
+                unit="granules",
+            )
+            self._m_quarantines = obs.metrics.counter(
+                "instrcheck_quarantines_total",
+                help="cores pulled from the lane pool by the campaign "
+                     "policy loop",
+                unit="cores",
+            )
+        for lane in self.lanes:
+            self._equip_lane(lane)
+
+    # -- workload ------------------------------------------------------
+
+    @staticmethod
+    def _golden_digest(unit: WorkUnit) -> int:
+        """Host-side expected digest (never routed through a core)."""
+        return digest_ints(
+            result_digest(golden_execute(op, *operands))
+            for op, operands in unit
+        )
+
+    # -- lane equipment ------------------------------------------------
+
+    def _spare_cores(self) -> list[Core]:
+        """Online cores not hosting a lane and not the checker."""
+        busy = {lane.core.core_id for lane in self.lanes}
+        if self.checker_core is not None:
+            busy.add(self.checker_core.core_id)
+        return [
+            core for core_id, core in self._core_by_id.items()
+            if core_id not in busy and core.online
+        ]
+
+    def _equip_lane(self, lane: _Lane) -> None:
+        """(Re)build a lane's arm wrapper around its current core."""
+        cfg = self.config
+        sampler_seed = self.seed + 100 * lane.index + self._lane_generation
+        if self.arm == "ithica":
+            lane.wrapper = IthicaCheckedCore(
+                lane.core, cfg.sample_rate, seed=sampler_seed,
+                stats=self.stats, on_mismatch=self._on_mismatch,
+            )
+        elif self.arm == "meek":
+            assert self.checker_core is not None
+            lane.wrapper = MeekCheckedCore(
+                lane.core, self.checker_core, cfg.sample_rate,
+                lag_limit=cfg.lag_limit, seed=sampler_seed,
+                stats=self.stats, on_mismatch=self._on_mismatch,
+                on_overflow=self._on_overflow,
+            )
+        elif self.arm == "reptfd":
+            assert self.checker_core is not None
+            lane.replayer = ReplayChecker(
+                [lane.core] + self._spare_cores(),
+                self.checker_core, sample_rate=cfg.sample_rate,
+                seed=sampler_seed, stats=self.stats,
+                on_divergence=self._on_divergence,
+                on_replay=self._on_replay,
+            )
+        # "e2e" and "screen" run on the bare core.
+
+    # -- event plumbing ------------------------------------------------
+
+    def _emit(
+        self,
+        core_id: str,
+        kind: EventKind,
+        detail: str,
+        attributed: bool = True,
+    ) -> None:
+        self.events.append(
+            CeeEvent(
+                time_days=self._now_ms / MS_PER_DAY,
+                machine_id=self._machine_by_core.get(
+                    core_id, core_id.rsplit("/", 1)[0]
+                ),
+                core_id=core_id if attributed else None,
+                kind=kind,
+                reporter=Reporter.AUTOMATED,
+                application="instrcheck",
+                detail=detail,
+            )
+        )
+
+    def _on_mismatch(self, core_id: str, op: str, tag: int) -> None:
+        self._caught.add(tag)
+        self._emit(core_id, EventKind.INSTRCHECK_MISMATCH, f"op {op}")
+        if self._obs_on:
+            self._m_mismatches.inc(arm=self.arm)
+
+    def _on_divergence(self, core_id: str, op: str, tag: int) -> None:
+        self._caught.add(tag)
+        self._emit(core_id, EventKind.REPLAY_DIVERGENCE, f"granule op {op}")
+        if self._obs_on:
+            self._m_mismatches.inc(arm=self.arm)
+
+    def _on_overflow(self, core_id: str, tag: int) -> None:
+        # Deliberately *unattributed* (core_id=None): an overflowing
+        # check queue means the checker fell behind — coverage lost,
+        # not evidence against the primary.  An attributed weight here
+        # would condemn healthy lanes at full sampling rate.  Also
+        # throttled to one event per lane per tick; the exact drop
+        # count lives in stats.lag_drops and the metric.
+        if self._obs_on:
+            self._m_lag_drops.inc()
+        if self._overflow_tick.get(core_id) == self._current_tick:
+            return
+        self._overflow_tick[core_id] = self._current_tick
+        self._emit(
+            core_id, EventKind.CHECKER_LAG_OVERFLOW,
+            f"dropped entries near unit {tag}",
+            attributed=False,
+        )
+
+    def _on_replay(self, tag: int, n_units: int) -> None:
+        self.scorecard.replays += 1
+        if self._obs_on:
+            self._m_replays.inc()
+            with obs.tracer.span(
+                "instrcheck.replay", tag=tag, units=n_units
+            ):
+                pass
+
+    # -- unit execution ------------------------------------------------
+
+    def _execute_checked(self, lane: _Lane, tag: int) -> None:
+        """Run one unit through the lane's wrapper (ithica / meek)."""
+        wrapper = lane.wrapper
+        assert wrapper is not None
+        wrapper.tag = tag
+        digests = []
+        try:
+            for op, operands in self.units[tag]:
+                digests.append(result_digest(wrapper.execute(op, *operands)))
+        except MachineCheckError:
+            self.scorecard.machine_checks += 1
+            self.scorecard.units_crashed += 1
+            self._emit(lane.core.core_id, EventKind.MACHINE_CHECK,
+                       "mce in unit")
+            return
+        except CoreOfflineError:
+            self.scorecard.units_crashed += 1
+            return
+        self._delivered[tag] = digest_ints(digests)
+
+    def _execute_plain(self, lane: _Lane, tag: int) -> None:
+        """Run one unit on the bare core (e2e / screen arms)."""
+        core = lane.core
+        digests = []
+        try:
+            for op, operands in self.units[tag]:
+                digests.append(result_digest(core.execute(op, *operands)))
+                self.stats.payload_ops += 1
+        except MachineCheckError:
+            self.scorecard.machine_checks += 1
+            self.scorecard.units_crashed += 1
+            self._emit(core.core_id, EventKind.MACHINE_CHECK, "mce in unit")
+            return
+        except CoreOfflineError:
+            self.scorecard.units_crashed += 1
+            return
+        delivered = digest_ints(digests)
+        if self.arm == "e2e" and _hash01(
+            self.seed + 17, tag
+        ) < self.config.sample_rate:
+            # E11-style end-to-end check on the trusted client core,
+            # before the result is delivered downstream.
+            self.stats.ops_sampled += len(self.units[tag])
+            self.stats.check_ops += len(self.units[tag])
+            redone = digest_ints(
+                result_digest(self.client_core.execute(op, *operands))
+                for op, operands in self.units[tag]
+            )
+            if redone != delivered:
+                self.stats.mismatches += 1
+                self._caught.add(tag)
+                self._emit(core.core_id, EventKind.APP_REPORT,
+                           "e2e digest mismatch")
+                if self._obs_on:
+                    self._m_mismatches.inc(arm=self.arm)
+        self._delivered[tag] = delivered
+
+    def _flush_reptfd(self, lane: _Lane) -> None:
+        """Commit a buffered granule through the lane's replay checker."""
+        if not lane.buffer:
+            return
+        replayer = lane.replayer
+        assert replayer is not None
+        replayer.pool = [lane.core] + self._spare_cores()
+        replayer.tag = lane.buffer_tags[0]
+        try:
+            digests = replayer.run_granule(lane.buffer, tags=lane.buffer_tags)
+        except (GranuleFailedError, MachineCheckError, CoreOfflineError):
+            self.scorecard.units_crashed += len(lane.buffer)
+        else:
+            for tag, digest in zip(lane.buffer_tags, digests):
+                self._delivered[tag] = digest
+        lane.buffer = []
+        lane.buffer_tags = []
+
+    # -- screening (E9 reference arm) ----------------------------------
+
+    def _run_screen(self, tick: int) -> None:
+        cfg = self.config
+        hi = 2 ** cfg.operand_bits
+        for lane in self.lanes:
+            core = lane.core
+            failed = False
+            try:
+                for _ in range(cfg.screen_ops):
+                    op = UNIT_OPS[int(self._screen_rng.integers(
+                        len(UNIT_OPS)
+                    ))]
+                    a = int(self._screen_rng.integers(hi))
+                    b = int(self._screen_rng.integers(hi))
+                    operands = (
+                        (a,) if op == Op.LOAD or op == Op.STORE else (a, b)
+                    )
+                    self.stats.check_ops += 1
+                    got = core.execute(op, *operands)
+                    if result_digest(got) != result_digest(
+                        golden_execute(op, *operands)
+                    ):
+                        failed = True
+            except MachineCheckError:
+                self.scorecard.machine_checks += 1
+                failed = True
+            except CoreOfflineError:
+                continue
+            if failed:
+                self.scorecard.screen_fails += 1
+                self._confessed.add(core.core_id)
+                self._emit(core.core_id, EventKind.SCREEN_FAIL,
+                           f"battery at tick {tick}")
+
+    # -- detection loop ------------------------------------------------
+
+    def _run_policy(self, tick: int) -> None:
+        new_events = self.events.tail(self._events_seen)
+        self._events_seen = len(self.events)
+        self.analyzer.ingest_all(new_events)
+
+        now_days = self._now_ms / MS_PER_DAY
+        for core_id, score in self.analyzer.suspects(
+            now_days, threshold=self.config.policy.retest_threshold
+        ):
+            core = self._core_by_id.get(core_id)
+            if core is None or core_id in self.scorecard.quarantine_tick:
+                continue
+            decision = self.policy.decide(
+                core_id, score, confessed=core_id in self._confessed
+            )
+            if decision.action in (
+                Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE
+            ):
+                self._quarantine(core_id, tick)
+
+        for lane in self.lanes:
+            if lane.core.core_id in self.scorecard.quarantine_tick:
+                self._replace_lane(lane)
+
+    def _quarantine(self, core_id: str, tick: int) -> None:
+        if core_id in self.scorecard.quarantine_tick:
+            return
+        self._core_by_id[core_id].set_online(False)
+        self.scorecard.quarantine_tick[core_id] = tick
+        if self._obs_on:
+            self._m_quarantines.inc()
+
+    def _replace_lane(self, lane: _Lane) -> None:
+        """Re-place a quarantined lane on a spare core via the scheduler."""
+        # A quarantined lane's granule buffer is abandoned: those units
+        # were never committed past a checkpoint.
+        if lane.buffer:
+            self.scorecard.units_crashed += len(lane.buffer)
+            lane.buffer = []
+            lane.buffer_tags = []
+        if isinstance(lane.wrapper, MeekCheckedCore):
+            # The checker verifies the backlog before the lane moves.
+            lane.wrapper.flush(None)
+        occupied = {peer.core.core_id for peer in self.lanes}
+        if self.checker_core is not None:
+            occupied.add(self.checker_core.core_id)
+        quarantined = set(self.policy.quarantined) | set(
+            self.scorecard.quarantine_tick
+        )
+        placements, _ = self.scheduler.schedule(
+            [Task(f"lane/{lane.index}")],
+            exclude_core_ids=occupied | quarantined,
+        )
+        if not placements:
+            return  # degraded: the lane stays dark
+        lane.core = self._core_by_id[placements[0].core_id]
+        self._lane_generation += 1
+        self._equip_lane(lane)
+
+    def _note_corruptions(self, tick: int) -> None:
+        """Record the first tick each core's corruption counter moved.
+
+        Ground-truth bookkeeping for the forensics timeline; runs
+        unconditionally so scorecards don't depend on REPRO_OBS.
+        """
+        base = self._corruption_base
+        for core_id, core in self._core_by_id.items():
+            induced = core.corruptions_induced
+            if induced != base[core_id]:
+                base[core_id] = induced
+                if core_id not in self._first_corrupt_tick:
+                    self._first_corrupt_tick[core_id] = tick
+
+    # -- the main loop -------------------------------------------------
+
+    def run(self) -> InstrCheckScorecard:
+        cfg = self.config
+        card = self.scorecard
+        obs_on = self._obs_on
+        next_unit = 0
+        tick = 0
+        while next_unit < len(self.units) or any(
+            lane.buffer for lane in self.lanes
+        ):
+            self._now_ms = tick * cfg.tick_ms
+            self._current_tick = tick
+            for lane in self.lanes:
+                if lane.core.core_id in card.quarantine_tick:
+                    continue  # dark lane (no spare was available)
+                if next_unit >= len(self.units):
+                    if self.arm == "reptfd":
+                        self._flush_reptfd(lane)
+                    continue
+                tag = next_unit
+                next_unit += 1
+                if obs_on:
+                    with obs.tracer.span(
+                        "instrcheck.unit", unit=tag,
+                        core_id=lane.core.core_id,
+                    ):
+                        self._run_unit(lane, tag)
+                else:
+                    self._run_unit(lane, tag)
+            if self.arm == "meek":
+                for lane in self.lanes:
+                    if isinstance(lane.wrapper, MeekCheckedCore):
+                        lane.wrapper.flush(cfg.drain_per_tick)
+            if (
+                self.arm == "screen"
+                and tick % cfg.screen_interval_ticks == 0
+            ):
+                self._run_screen(tick)
+            self._note_corruptions(tick)
+            self._run_policy(tick)
+            if obs_on:
+                delta = self.stats.ops_sampled - self._ops_checked_seen
+                if delta:
+                    self._m_ops_checked.inc(delta, arm=self.arm)
+                    self._ops_checked_seen = self.stats.ops_sampled
+            tick += 1
+
+        # End-of-run barrier: the MEEK checker drains every backlog.
+        if self.arm == "meek":
+            for lane in self.lanes:
+                if isinstance(lane.wrapper, MeekCheckedCore):
+                    lane.wrapper.flush(None)
+        self._settle(tick)
+        return card
+
+    def _run_unit(self, lane: _Lane, tag: int) -> None:
+        if self.arm in ("ithica", "meek"):
+            self._execute_checked(lane, tag)
+        elif self.arm == "reptfd":
+            lane.buffer.append(self.units[tag])
+            lane.buffer_tags.append(tag)
+            if len(lane.buffer) >= self.config.granule_units:
+                self._flush_reptfd(lane)
+        else:
+            self._execute_plain(lane, tag)
+
+    def _settle(self, ticks: int) -> None:
+        """Final scoring: deliveries vs golden digests vs catches."""
+        card = self.scorecard
+        card.ticks = ticks
+        card.units_total = len(self.units)
+        card.units_delivered = len(self._delivered)
+        for tag, delivered in self._delivered.items():
+            wrong = delivered != self.expected[tag]
+            if tag in self._caught:
+                if not wrong:
+                    card.flagged_clean_units += 1
+            elif wrong:
+                card.cees_escaped += 1
+        card.cees_caught = len(self._caught)
+        card.payload_ops = self.stats.payload_ops
+        card.check_ops = self.stats.check_ops
+        card.ops_sampled = self.stats.ops_sampled
+        card.mismatches = self.stats.mismatches
+        card.lag_drops = self.stats.lag_drops
+        card.first_corrupt_tick = dict(
+            sorted(self._first_corrupt_tick.items())
+        )
+        card.detection_latency_ms = detection_latency_summary(
+            self._first_corrupt_tick, card.quarantine_tick,
+            list(self.events), self.config.tick_ms,
+        )
+
+
+# ---------------------------------------------------------------------
+# fleet construction for instrcheck experiments
+# ---------------------------------------------------------------------
+
+def build_instrcheck_fleet(
+    n_machines: int = 2,
+    cores_per_machine: int = 4,
+    prevalence: float = 0.125,
+    base_rate: float = 0.03,
+    seed: int = 7,
+) -> tuple[list[Machine], list[str]]:
+    """A small fleet whose bad cores land among the worker lanes.
+
+    ``round(prevalence * n_cores)`` cores are mercurial, placed at the
+    low global indices the scheduler hands to lanes first.  Defects
+    alternate between the two §2 archetypes the arms disagree about:
+    a *probabilistic* stuck-bit on the ALU (ITHICA can catch it — the
+    duplicate run re-rolls the dice) and a *deterministic*
+    operand-pattern miscomputation (ITHICA is blind — both executions
+    corrupt identically; only a second core can disagree).
+
+    Returns ``(machines, bad core ids)``.
+    """
+    n_cores = n_machines * cores_per_machine
+    n_bad = max(0, min(round(prevalence * n_cores), cores_per_machine - 1))
+    bad_indices = set(range(1, 1 + n_bad))
+    product = CpuProduct(
+        vendor="sim", sku=f"instrcheck-{cores_per_machine}c",
+        cores_per_machine=cores_per_machine, core_prevalence=0.0,
+    )
+    root = np.random.default_rng(seed)
+    machines: list[Machine] = []
+    bad_core_ids: list[str] = []
+    for m in range(n_machines):
+        machine_id = f"m{m:05d}"
+        cores = []
+        for c in range(cores_per_machine):
+            core_id = f"{machine_id}/c{c:02d}"
+            index = m * cores_per_machine + c
+            defects = ()
+            if index in bad_indices:
+                bad_core_ids.append(core_id)
+                if index % 2 == 1:
+                    defects = (
+                        StuckBitDefect(
+                            f"defect/{core_id}", bit=13,
+                            base_rate=base_rate,
+                            unit=FunctionalUnit.ALU,
+                        ),
+                    )
+                else:
+                    defects = (
+                        OperandPatternDefect(
+                            f"defect/{core_id}", mask=0x7, value=0x5,
+                            error=1 << 9, base_rate=1.0,
+                            unit=FunctionalUnit.ALU,
+                        ),
+                    )
+            cores.append(
+                Core(
+                    core_id,
+                    defects=defects,
+                    rng=np.random.default_rng(root.integers(2**63)),
+                )
+            )
+        machines.append(
+            Machine(machine_id=machine_id, product=product, chip=Chip(cores))
+        )
+    return machines, bad_core_ids
+
+
+__all__ = [
+    "ARMS",
+    "InstrCheckCampaign",
+    "InstrCheckConfig",
+    "InstrCheckScorecard",
+    "build_instrcheck_fleet",
+]

@@ -47,6 +47,12 @@ SERVING_STALE_SERVED_TOTAL = "serving_stale_served_total"
 SERVING_SHARD_DEGRADED_TOTAL = "serving_shard_degraded_total"
 SERVING_AUTOSCALE_ACTIONS_TOTAL = "serving_autoscale_actions_total"
 
+INSTRCHECK_OPS_CHECKED_TOTAL = "instrcheck_ops_checked_total"
+INSTRCHECK_MISMATCHES_TOTAL = "instrcheck_mismatches_total"
+INSTRCHECK_LAG_DROPS_TOTAL = "instrcheck_lag_drops_total"
+INSTRCHECK_REPLAYS_TOTAL = "instrcheck_replays_total"
+INSTRCHECK_QUARANTINES_TOTAL = "instrcheck_quarantines_total"
+
 STORAGE_WRITES_TOTAL = "storage_writes_total"
 STORAGE_READS_TOTAL = "storage_reads_total"
 STORAGE_DURABLE_ESCAPES_TOTAL = "storage_durable_escapes_total"
@@ -64,6 +70,8 @@ SPAN_SERVING_QUARANTINE = "serving.quarantine"
 SPAN_SERVING_SCALE_REQUEST = "serving.scale_request"
 SPAN_SERVING_AUTOSCALE = "serving.autoscale"
 SPAN_SERVING_DEGRADE = "serving.degrade"
+SPAN_INSTRCHECK_UNIT = "instrcheck.unit"
+SPAN_INSTRCHECK_REPLAY = "instrcheck.replay"
 SPAN_STORAGE_PUT = "storage.put"
 SPAN_STORAGE_GET = "storage.get"
 SPAN_STORAGE_QUARANTINE = "storage.quarantine"
@@ -92,6 +100,11 @@ METRIC_NAMES: frozenset[str] = frozenset({
     SERVING_STALE_SERVED_TOTAL,
     SERVING_SHARD_DEGRADED_TOTAL,
     SERVING_AUTOSCALE_ACTIONS_TOTAL,
+    INSTRCHECK_OPS_CHECKED_TOTAL,
+    INSTRCHECK_MISMATCHES_TOTAL,
+    INSTRCHECK_LAG_DROPS_TOTAL,
+    INSTRCHECK_REPLAYS_TOTAL,
+    INSTRCHECK_QUARANTINES_TOTAL,
     STORAGE_WRITES_TOTAL,
     STORAGE_READS_TOTAL,
     STORAGE_DURABLE_ESCAPES_TOTAL,
@@ -110,6 +123,8 @@ SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_SERVING_SCALE_REQUEST,
     SPAN_SERVING_AUTOSCALE,
     SPAN_SERVING_DEGRADE,
+    SPAN_INSTRCHECK_UNIT,
+    SPAN_INSTRCHECK_REPLAY,
     SPAN_STORAGE_PUT,
     SPAN_STORAGE_GET,
     SPAN_STORAGE_QUARANTINE,

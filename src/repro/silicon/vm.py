@@ -15,6 +15,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.silicon.core import Core
+from repro.workloads.base import CoreLike
 from repro.silicon.isa import (
     Instruction,
     N_SCALAR_REGS,
@@ -46,11 +47,22 @@ class VmResult:
 
 
 class Vm:
-    """A tiny machine: one core, registers, flat memory."""
+    """A tiny machine: one core, registers, flat memory.
+
+    ``core`` is the VM's op-stream hook point: anything satisfying
+    :class:`~repro.workloads.base.CoreLike` (``core_id`` plus
+    ``execute``) can stand in for a raw :class:`Core`.  In particular
+    the instruction-level checking wrappers —
+    :class:`~repro.mitigation.instrcheck.policies.IthicaCheckedCore`
+    and :class:`~repro.mitigation.instrcheck.policies.MeekCheckedCore`
+    — slot in here unchanged, so whole ISA programs run under per-op
+    duplicate execution or heterogeneous checker pairing without the
+    interpreter knowing.
+    """
 
     def __init__(
         self,
-        core: Core,
+        core: Core | CoreLike,
         memory_words: int = DEFAULT_MEMORY_WORDS,
         step_budget: int = DEFAULT_STEP_BUDGET,
     ):

@@ -10,7 +10,7 @@ from repro.mitigation.redundancy import (
 )
 from repro.silicon.core import Core
 from repro.silicon.defects import StuckBitDefect
-from repro.silicon.units import FunctionalUnit
+from repro.silicon.units import FunctionalUnit, Op
 from repro.workloads.generator import spec_by_name
 
 
@@ -117,3 +117,30 @@ class TestTmr:
         voter = _bad_core("rd/voter", rate=0.0)  # harmless here
         outcome = TmrExecutor(healthy_pool, voter_core=voter).run(_work())
         assert outcome.executions == 3
+
+    def test_defective_voter_outvotes_two_healthy_workers(self, healthy_pool):
+        """§7 regression: "this relies on the voting mechanism itself
+        being reliable."  A voter whose comparator is inverted (bit 0
+        of BEQ flipped, deterministically) declares the corrupt
+        member's digest the majority: the wrong result is returned
+        with full TMR confidence — no exception — while the two
+        genuinely-healthy, genuinely-agreeing workers are booked as
+        the out-voted minority."""
+        inverted_voter = Core(
+            "rd/voter-inverted",
+            defects=[StuckBitDefect("d", bit=0, base_rate=1.0,
+                                    ops=(Op.BEQ,))],
+            rng=np.random.default_rng(9),
+        )
+        pool = [_bad_core()] + healthy_pool[:2]
+        outcome = TmrExecutor(pool, voter_core=inverted_voter).run(_work())
+        reference = _work()(healthy_pool[3])
+        # Wrong-but-confident: the corrupt digest "won" the vote...
+        assert outcome.result.output_digest != reference.output_digest
+        assert outcome.cores_used[0] == "rd/bad"
+        # ...with the two healthy workers recorded as the dissenters.
+        assert outcome.disagreements == 1
+        # Sanity: a host-side (reliable) vote on the same pool returns
+        # the healthy majority instead.
+        honest = TmrExecutor(pool).run(_work())
+        assert honest.result.output_digest == reference.output_digest

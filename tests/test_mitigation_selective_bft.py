@@ -114,6 +114,39 @@ class TestSelectiveReplication:
         with pytest.raises(ValueError):
             SelectiveReplicator(_pool(False)[:2])
 
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveReplicator([])
+
+    def test_impact_score_exactly_at_threshold_is_critical(self):
+        # impact_score = log10(blast_radius + 1): radius 9 lands
+        # exactly on 1.0, the default threshold — ">=" means the
+        # boundary stage IS replicated (fail-safe for ties).
+        replicator = SelectiveReplicator(_pool(False),
+                                         criticality_threshold=1.0)
+        at_boundary = Stage(name="boundary", work=_work(3), blast_radius=9)
+        assert impact_score(at_boundary) == pytest.approx(1.0)
+        replicator.run_stage(at_boundary)
+        assert replicator.stats.stages_replicated == 1
+
+        just_below = Stage(name="below", work=_work(4), blast_radius=8)
+        assert impact_score(just_below) < 1.0
+        replicator.run_stage(just_below)
+        assert replicator.stats.stages_replicated == 1
+        assert replicator.stats.single_executions == 1
+
+    def test_cost_factor_with_zero_replicated_stages(self):
+        replicator = SelectiveReplicator(_pool(False))
+        # Before anything runs the factor is the defined neutral 1.0,
+        # not a division by zero.
+        assert replicator.stats.cost_factor == 1.0
+        for i in range(4):
+            replicator.run_stage(
+                Stage(name=f"cheap{i}", work=_work(i + 1), critical=False)
+            )
+        assert replicator.stats.stages_replicated == 0
+        assert replicator.stats.cost_factor == 1.0
+
 
 class TestQuorumService:
     def _service(self, mercurial_indices=(1,), f=1, rate=1.0):
