@@ -184,20 +184,35 @@ def _incidence_trial(
 
     ``legacy=True`` runs the identical trial on the preserved serial
     paths (loop builder, scalar tick) — the bench harness's baseline.
+    The optimized path runs entirely on the columnar substrate (no
+    ``Core`` objects at all); it is bit-identical to the object
+    vectorized path it replaced, so E1 results are unchanged.
     """
     builder = FleetBuilder(seed=trial.seed, deployment_window=(-900.0, 0.0))
-    build = builder.build_legacy if legacy else builder.build
-    machines, truth = build(n_machines)
-    simulator = FleetSimulator(
-        machines, truth,
-        SimulatorConfig(
-            horizon_days=horizon_days, warmup_days=0.0,
-            vectorized=not legacy,
-        ),
-        seed=trial.seed + 1,
-    )
+    if legacy:
+        machines, truth = builder.build_legacy(n_machines)
+        simulator = FleetSimulator(
+            machines, truth,
+            SimulatorConfig(
+                horizon_days=horizon_days, warmup_days=0.0,
+                vectorized=False,
+            ),
+            seed=trial.seed + 1,
+        )
+        truth_map = ground_truth_map(machines)
+    else:
+        columns = builder.build_columns(n_machines)
+        simulator = FleetSimulator(
+            columns,
+            config=SimulatorConfig(
+                horizon_days=horizon_days, warmup_days=0.0,
+            ),
+            seed=trial.seed + 1,
+        )
+        truth = simulator.truth
+        truth_map = columns.ground_truth_map()
     result = simulator.run()
-    detection = confusion(ground_truth_map(machines), result.flagged())
+    detection = confusion(truth_map, result.flagged())
     publish_confusion(detection, detector="fleet")
     return {
         "trial": trial.index,

@@ -11,7 +11,9 @@ from repro.engine.runner import (
     WorkerCrashError,
     WORKERS_ENV,
     derive_trial_seeds,
+    effective_workers,
     resolve_workers,
+    run_fleet_trials,
     run_tasks,
     run_trials,
 )
@@ -22,7 +24,9 @@ __all__ = [
     "WorkerCrashError",
     "WORKERS_ENV",
     "derive_trial_seeds",
+    "effective_workers",
     "resolve_workers",
+    "run_fleet_trials",
     "run_tasks",
     "run_trials",
 ]

@@ -85,8 +85,33 @@ def _timed(fn: Callable[[], object]) -> tuple[float, object]:
 # ---------------------------------------------------------------------
 
 def bench_build(scale: str, workers: int) -> BenchScorecard:
-    """Fleet construction: legacy per-draw builder vs vectorized."""
+    """Fleet construction & tick: object substrate vs columnar.
+
+    Four measurements over the same seeded population plan:
+
+    - **build A/B** — legacy per-draw builder (baseline) vs vectorized
+      object builder vs ``build_columns`` (the headline ``speedup`` and
+      ``cores_per_s`` come from the columnar side);
+    - **campaign A/B** — a short simulated campaign on the same fleet
+      through both substrates, *including* simulator construction: the
+      object side scans every core to build its id indexes, the
+      columnar side touches only the mercurial arrays, and that gap is
+      exactly what campaigns standing up a simulator per trial pay
+      (``tick_speedup``);
+    - **O(1M)-core arm** — columnar build + shared-memory snapshot
+      publish/attach + a short campaign at a scale the object substrate
+      cannot practically reach (``scale_*`` / ``snapshot_*`` metrics);
+    - **parity gate** — a small prevalence-boosted fleet run through
+      both substrates at the same seed; the event-stream fingerprints
+      must be identical (``columnar_parity``), so the speedups above
+      can never drift away from bit-equal results.
+    """
+    import hashlib
+
+    from repro.fleet import shm as fleet_shm
     from repro.fleet.population import FleetBuilder
+    from repro.fleet.product import DEFAULT_PRODUCTS
+    from repro.fleet.simulator import FleetSimulator, SimulatorConfig
 
     n_machines = 2000 if scale == "ci" else 12000
     window = (-900.0, 0.0)
@@ -95,25 +120,128 @@ def bench_build(scale: str, workers: int) -> BenchScorecard:
         .build_legacy(n_machines)
     )
     n_cores = sum(len(m.cores) for m in machines)
-    vector_s, (machines, truth) = _timed(
+    object_s, (machines, truth) = _timed(
         lambda: FleetBuilder(seed=7, deployment_window=window)
         .build(n_machines)
     )
+    columnar_s, columns = _timed(
+        lambda: FleetBuilder(seed=7, deployment_window=window)
+        .build_columns(n_machines)
+    )
+
+    # Campaign A/B on the fleets just built: construction + a short
+    # horizon, both substrates, same seed.
+    ab_ticks = 8
+    ab_config = SimulatorConfig(horizon_days=float(ab_ticks), warmup_days=0.0)
+    object_campaign_s, _ = _timed(
+        lambda: FleetSimulator(machines, truth, ab_config, seed=8).run()
+    )
+    columnar_campaign_s, _ = _timed(
+        lambda: FleetSimulator(columns, config=ab_config, seed=8).run()
+    )
+
+    # O(1M)-core columnar arm: build, publish, attach, simulate.  The
+    # default core mix averages ~40 cores/machine, so 25k machines is
+    # a ≈1M-core fleet; this arm runs at both scales because the
+    # columnar substrate makes it cheap enough for CI.
+    scale_machines = 25_000
+    scale_build_s, scale_columns = _timed(
+        lambda: FleetBuilder(seed=7, deployment_window=window)
+        .build_columns(scale_machines)
+    )
+    scale_cores = scale_columns.n_cores
+    scale_ticks = 30
+    snapshot_s, snapshot = _timed(lambda: fleet_shm.publish(scale_columns))
+    try:
+        attach_s, attached = _timed(lambda: fleet_shm.attach(snapshot.handle))
+        snapshot_bytes = snapshot.handle.snapshot_bytes
+        scale_campaign_s, _ = _timed(
+            lambda: FleetSimulator(
+                attached.columns,
+                config=SimulatorConfig(
+                    horizon_days=float(scale_ticks), warmup_days=0.0
+                ),
+                seed=8,
+            ).run()
+        )
+        scale_mercurial = scale_columns.n_mercurial
+        attached.close()
+    finally:
+        snapshot.close()
+
+    # Parity gate: prevalence-boosted small fleet (the determinism-test
+    # shape), event streams hashed on both substrates.
+    boosted = tuple(
+        dataclasses.replace(p, core_prevalence=p.core_prevalence * 40.0)
+        for p in DEFAULT_PRODUCTS
+    )
+    parity_config = SimulatorConfig(horizon_days=60.0, warmup_days=0.0)
+
+    def _event_fingerprint(result) -> str:
+        payload = {
+            "events": [
+                (e.time_days, e.machine_id, e.core_id, str(e.kind),
+                 str(e.reporter), e.detail)
+                for e in result.events
+            ],
+            "quarantined": sorted(result.quarantined_cores),
+            "total_corruptions": result.total_corruptions,
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode()
+        ).hexdigest()
+
+    p_machines, p_truth = FleetBuilder(
+        products=boosted, seed=11, deployment_window=(-700.0, 0.0)
+    ).build(150)
+    object_fp = _event_fingerprint(
+        FleetSimulator(p_machines, p_truth, parity_config, seed=3).run()
+    )
+    p_columns = FleetBuilder(
+        products=boosted, seed=11, deployment_window=(-700.0, 0.0)
+    ).build_columns(150)
+    columnar_fp = _event_fingerprint(
+        FleetSimulator(p_columns, config=parity_config, seed=3).run()
+    )
+
     return BenchScorecard(
         bench_id="build",
-        title="fleet construction (legacy vs vectorized)",
+        title="fleet build & tick (object substrate vs columnar)",
         scale=scale,
         workers=workers,
-        wall_s=vector_s,
+        wall_s=columnar_s,
         baseline_wall_s=legacy_s,
-        speedup=legacy_s / max(vector_s, 1e-9),
+        speedup=legacy_s / max(columnar_s, 1e-9),
         trials=1,
-        trials_per_s=1.0 / max(vector_s, 1e-9),
+        trials_per_s=1.0 / max(columnar_s, 1e-9),
+        ticks=ab_ticks,
+        ticks_per_s=ab_ticks / max(columnar_campaign_s, 1e-9),
+        baseline_ticks_per_s=ab_ticks / max(object_campaign_s, 1e-9),
+        tick_speedup=object_campaign_s / max(columnar_campaign_s, 1e-9),
         metrics={
             "n_machines": n_machines,
             "n_cores": n_cores,
             "n_mercurial": truth.n_mercurial,
-            "cores_per_s": n_cores / max(vector_s, 1e-9),
+            "legacy_build_s": legacy_s,
+            "object_build_s": object_s,
+            "columnar_build_s": columnar_s,
+            "object_cores_per_s": n_cores / max(object_s, 1e-9),
+            # headline: columnar build throughput at the 1M-core arm
+            "cores_per_s": scale_cores / max(scale_build_s, 1e-9),
+            "object_campaign_s": object_campaign_s,
+            "columnar_campaign_s": columnar_campaign_s,
+            "scale_n_machines": scale_machines,
+            "scale_n_cores": scale_cores,
+            "scale_n_mercurial": scale_mercurial,
+            "scale_build_s": scale_build_s,
+            "scale_campaign_ticks": scale_ticks,
+            "scale_campaign_s": scale_campaign_s,
+            "scale_ticks_per_s": scale_ticks / max(scale_campaign_s, 1e-9),
+            "snapshot_bytes": snapshot_bytes,
+            "snapshot_ms": snapshot_s * 1e3,
+            "attach_ms": attach_s * 1e3,
+            "columnar_parity": object_fp == columnar_fp,
+            "parity_fingerprint": columnar_fp,
         },
     )
 
@@ -256,9 +384,19 @@ def _bench_campaign(
     execute millions of real ops through :class:`Core`) and runs the
     arms serially; the optimized side re-enables it and fans the arms
     out over the engine.
+
+    The optimized side runs with :func:`effective_workers`: a pool
+    wider than the host's CPU count (or the arm count) is pure
+    pickling/IPC overhead, and committing that as a "speedup" would be
+    dishonest in the other direction — the engine would never configure
+    it.  The requested count is recorded in ``metrics`` alongside the
+    effective one the card's ``workers`` field reports.
     """
+    from repro.engine.runner import effective_workers
     from repro.silicon.golden import golden_cache_clear, set_golden_cache
 
+    requested_workers = workers
+    workers = effective_workers(workers, n_items=arms)
     set_golden_cache(False)
     try:
         baseline_s, _ = _timed(lambda: runner(ticks=ticks, workers=1))
@@ -281,7 +419,10 @@ def _bench_campaign(
         ticks_per_s=total_ticks / max(wall_s, 1e-9),
         baseline_ticks_per_s=total_ticks / max(baseline_s, 1e-9),
         tick_speedup=baseline_s / max(wall_s, 1e-9),
-        metrics={"ticks_per_arm": ticks},
+        metrics={
+            "ticks_per_arm": ticks,
+            "requested_workers": requested_workers,
+        },
     )
 
 

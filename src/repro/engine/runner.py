@@ -71,6 +71,25 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+def effective_workers(
+    workers: int | None = None, n_items: int | None = None
+) -> int:
+    """Worker count clamped to what the host can actually parallelize.
+
+    A pool wider than ``os.cpu_count()`` is pure overhead: the extra
+    processes time-slice one CPU while every chunk still pays pickling
+    and IPC (the root cause of BENCH_E15's historical < 1.0 "speedup"
+    on single-CPU hosts).  Benchmarks and campaign entry points use
+    this; :func:`run_tasks` itself deliberately does not, so explicit
+    worker counts in tests still exercise the real pool.
+    """
+    workers = resolve_workers(workers)
+    effective = min(workers, os.cpu_count() or 1)
+    if n_items is not None:
+        effective = min(effective, max(1, n_items))
+    return max(1, effective)
+
+
 def derive_trial_seeds(seed: int, n_trials: int) -> list[int]:
     """Independent, stable per-trial seeds from one master seed.
 
@@ -208,6 +227,77 @@ def run_trials(
         obs.tracer.adopt(spans)
         obs.metrics.merge(snapshot)
     return results
+
+
+#: per-process cache of attached fleet snapshots, keyed by segment
+#: name.  Pool workers are long-lived within one fan-out; attaching
+#: once per worker (not per trial) keeps the hand-off zero-copy and
+#: O(1).  Mappings are reclaimed when the worker process exits.
+_ATTACH_CACHE: dict = {}
+
+
+def _attached_columns(handle):
+    cached = _ATTACH_CACHE.get(handle.segment_name)
+    if cached is None:
+        from repro.fleet import shm as fleet_shm
+
+        cached = fleet_shm.attach(handle)
+        _ATTACH_CACHE[handle.segment_name] = cached
+    return cached.columns
+
+
+def _shared_fleet_trial(fn, handle, trial: Trial):
+    return fn(trial, _attached_columns(handle))
+
+
+def _inline_fleet_trial(fn, columns, trial: Trial):
+    # Fresh mutable-state copy per trial, so inline (workers=1) trials
+    # are as independent as pool trials attaching the read-only
+    # snapshot — worker-invariance depends on it.
+    return fn(trial, columns.thaw())
+
+
+def run_fleet_trials(
+    fn,
+    fleet,
+    n_trials: int,
+    *,
+    seed: int = 0,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+):
+    """Fan ``fn(trial, columns)`` over trials sharing one fleet.
+
+    The fleet (:class:`repro.fleet.columns.FleetColumns`) crosses the
+    process boundary exactly once, as a
+    :mod:`multiprocessing.shared_memory` snapshot published here and
+    attached read-only per worker — per-trial pickling of fleet state
+    is gone entirely.  ``fn`` must treat the columns as immutable (or
+    ``thaw()`` them; :class:`~repro.fleet.simulator.FleetSimulator`
+    does this automatically for read-only columns).
+
+    Seed contract and result ordering are exactly
+    :func:`run_trials`'s: trial *i*'s seed depends only on
+    ``(seed, i)``, results are bit-identical for any worker count.
+    The snapshot is unlinked on the way out even when a worker dies
+    (:class:`WorkerCrashError`), so no ``/dev/shm`` segments leak.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or n_trials <= 1:
+        bound = functools.partial(_inline_fleet_trial, fn, fleet)
+        return run_trials(
+            bound, n_trials, seed=seed, workers=1, chunk_size=chunk_size
+        )
+    from repro.fleet import shm as fleet_shm
+
+    snapshot = fleet_shm.publish(fleet)
+    try:
+        bound = functools.partial(_shared_fleet_trial, fn, snapshot.handle)
+        return run_trials(
+            bound, n_trials, seed=seed, workers=workers, chunk_size=chunk_size
+        )
+    finally:
+        snapshot.close()
 
 
 @dataclasses.dataclass(slots=True)

@@ -7,6 +7,12 @@ machine lifecycle (burn-in / RMA), and the discrete-event simulator
 whose output reproduces Fig. 1.
 """
 
+from repro.fleet.columns import (
+    DEFECT_MODE_CODES,
+    FleetColumns,
+    SNAPSHOT_FIELDS,
+    defect_mode_code,
+)
 from repro.fleet.lifecycle import BurnInReport, RmaTracker, burn_in
 from repro.fleet.machine import Machine
 from repro.fleet.population import FleetBuilder, FleetGroundTruth, ground_truth_map
@@ -36,6 +42,10 @@ from repro.fleet.simulator import (
 )
 
 __all__ = [
+    "DEFECT_MODE_CODES",
+    "FleetColumns",
+    "SNAPSHOT_FIELDS",
+    "defect_mode_code",
     "BurnInReport",
     "RmaTracker",
     "burn_in",

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.fleet.columns import FleetColumns, defect_mode_code
 from repro.fleet.machine import Machine
 from repro.fleet.product import CpuProduct, DEFAULT_PRODUCTS
 from repro.silicon.catalog import sample_core_defects
@@ -76,15 +77,20 @@ class FleetBuilder:
         self.deployment_window = deployment_window
         self.technology_refresh = technology_refresh
 
-    def build(self, n_machines: int) -> tuple[list[Machine], FleetGroundTruth]:
-        """Create the fleet and its ground truth (vectorized).
+    def _population_plan(
+        self, n_machines: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Draw every random decision for a fleet as numpy batches.
 
-        All random decisions — SKU choice, deploy day, per-core
-        prevalence draws, defect-sampler seeds — are drawn as numpy
-        batches up front, then a single Python pass materializes the
-        ``Machine``/``Core`` objects.  Healthy cores get no Generator of
-        their own (they never draw), which is what makes 10^5-core
-        fleets build in about a second instead of tens of seconds.
+        The single source of the builder's RNG-consumption order — both
+        :meth:`build` and :meth:`build_columns` run exactly this draw
+        sequence, which is what makes their outputs bit-identical for
+        equal seeds (pinned by the columnar parity tests).
+
+        Returns ``(product_indices, deploy_days, cores_per_machine,
+        mercurial_flags, mercurial_seeds)``; seeds come two per
+        mercurial core — defect sampling and the core's own
+        defect-randomness stream.
         """
         if n_machines < 1:
             raise ValueError("need at least one machine")
@@ -116,13 +122,36 @@ class FleetBuilder:
         total_cores = int(cores_per_machine.sum())
         mercurial_flags = (
             root.random(total_cores) < np.repeat(prevalence, cores_per_machine)
-        ).tolist()
-        # Two independent seeds per mercurial core: defect sampling and
-        # the core's own defect-randomness stream.
-        n_mercurial = sum(mercurial_flags)
-        mercurial_seeds = root.integers(
-            2**63, size=(n_mercurial, 2)
-        ).tolist()
+        )
+        n_mercurial = int(mercurial_flags.sum())
+        mercurial_seeds = root.integers(2**63, size=(n_mercurial, 2))
+        return (
+            product_indices,
+            deploy_days,
+            cores_per_machine,
+            mercurial_flags,
+            mercurial_seeds,
+        )
+
+    def build(self, n_machines: int) -> tuple[list[Machine], FleetGroundTruth]:
+        """Create the fleet and its ground truth (vectorized).
+
+        All random decisions — SKU choice, deploy day, per-core
+        prevalence draws, defect-sampler seeds — are drawn as numpy
+        batches up front, then a single Python pass materializes the
+        ``Machine``/``Core`` objects.  Healthy cores get no Generator of
+        their own (they never draw), which is what makes 10^5-core
+        fleets build in about a second instead of tens of seconds.
+        """
+        (
+            product_indices,
+            deploy_days,
+            _cores_per_machine,
+            mercurial_flag_array,
+            mercurial_seed_array,
+        ) = self._population_plan(n_machines)
+        mercurial_flags = mercurial_flag_array.tolist()
+        mercurial_seeds = mercurial_seed_array.tolist()
 
         machines: list[Machine] = []
         mercurial: set[str] = set()
@@ -163,6 +192,76 @@ class FleetBuilder:
                 )
             )
         return machines, FleetGroundTruth(mercurial, onsets)
+
+    def build_columns(self, n_machines: int) -> FleetColumns:
+        """Create the fleet directly as columns, skipping objects entirely.
+
+        Runs the same :meth:`_population_plan` draw sequence as
+        :meth:`build`, so ``build_columns(n).to_machines()`` is
+        bit-identical to ``build(n)`` at equal seeds (same ids, defect
+        parameters, RNG seeding, deploy days — pinned by tests).  The
+        only remaining Python loop is over the *mercurial* population —
+        a handful of cores per hundred thousand at paper prevalence —
+        which is what pushes fleet synthesis to O(1M) cores/s.
+        """
+        (
+            product_indices,
+            deploy_days,
+            cores_per_machine,
+            mercurial_flags,
+            mercurial_seeds,
+        ) = self._population_plan(n_machines)
+
+        machine_core_start = np.zeros(n_machines + 1, dtype=np.int64)
+        np.cumsum(cores_per_machine, out=machine_core_start[1:])
+        total_cores = int(machine_core_start[-1])
+        core_machine = np.repeat(
+            np.arange(n_machines, dtype=np.int32), cores_per_machine
+        )
+
+        merc_core = np.nonzero(mercurial_flags)[0].astype(np.int64)
+        n_mercurial = int(merc_core.shape[0])
+        if n_mercurial:
+            merc_sample_seed = mercurial_seeds[:, 0].astype(np.uint64)
+            merc_core_seed = mercurial_seeds[:, 1].astype(np.uint64)
+        else:
+            merc_sample_seed = np.zeros(0, dtype=np.uint64)
+            merc_core_seed = np.zeros(0, dtype=np.uint64)
+        merc_onset = np.zeros(n_mercurial, dtype=np.float64)
+        merc_defect_mode = np.zeros(n_mercurial, dtype=np.int16)
+        merc_defects: list = []
+        for index in range(n_mercurial):
+            flat = int(merc_core[index])
+            machine_index = int(core_machine[flat])
+            product = self.products[int(product_indices[machine_index])]
+            within = flat - int(machine_core_start[machine_index])
+            core_id = f"m{machine_index:05d}/c{within:02d}"
+            defects = tuple(
+                sample_core_defects(
+                    np.random.default_rng(int(merc_sample_seed[index])),
+                    core_id, onset=product.onset,
+                )
+            )
+            merc_defects.append(defects)
+            merc_onset[index] = min(d.aging.onset_days for d in defects)
+            merc_defect_mode[index] = defect_mode_code(defects)
+
+        return FleetColumns(
+            products=tuple(self.products),
+            machine_product=product_indices.astype(np.int16),
+            machine_deploy_day=np.asarray(deploy_days, dtype=np.float64),
+            machine_core_start=machine_core_start,
+            core_machine=core_machine,
+            mercurial=mercurial_flags,
+            online=np.ones(total_cores, dtype=bool),
+            merc_core=merc_core,
+            merc_onset=merc_onset,
+            merc_defect_mode=merc_defect_mode,
+            merc_age=np.zeros(n_mercurial, dtype=np.float64),
+            merc_sample_seed=merc_sample_seed,
+            merc_core_seed=merc_core_seed,
+            _merc_defects=merc_defects,
+        )
 
     def build_legacy(
         self, n_machines: int
@@ -230,6 +329,6 @@ def ground_truth_map(machines: list[Machine]) -> dict[str, bool]:
     """core id → is mercurial, for scoring detectors."""
     truth: dict[str, bool] = {}
     for machine in machines:
-        for core in machine.cores:
+        for core in machine.cores:  # repro: noqa-PERF002 -- object-substrate scoring API; columnar callers use FleetColumns.ground_truth_map()
             truth[core.core_id] = core.is_mercurial
     return truth

@@ -33,6 +33,7 @@ from repro.core.policy import Action, PolicyConfig, QuarantinePolicy
 from repro.core.report import Complaint, CoreComplaintService
 from repro.core.triage import HumanTriageModel, TriageOutcome
 from repro.detection.signals import SignalAnalyzer
+from repro.fleet.columns import FleetColumns
 from repro.fleet.machine import Machine
 from repro.fleet.population import FleetGroundTruth
 from repro.silicon.core import Core
@@ -160,23 +161,53 @@ class SimulationResult:
 
 
 class FleetSimulator:
-    """Drives a machine population through a detection campaign."""
+    """Drives a fleet through a detection campaign.
+
+    The fleet comes in one of two substrates:
+
+    - ``list[Machine]`` — the object fleet (plus an explicit ground
+      truth).  Both tick paths work; this is the compatibility anchor.
+    - :class:`~repro.fleet.columns.FleetColumns` — the columnar
+      substrate, including zero-copy shared-memory snapshots (read-only
+      columns are thawed automatically).  Only the vectorized tick runs
+      on columns, and it is bit-identical to the object vectorized tick
+      at equal seeds (pinned by parity tests): both consume the same
+      RNG stream in the same order, because the per-mercurial rate
+      caches and event-emission order are substrate-independent.
+    """
 
     def __init__(
         self,
-        machines: list[Machine],
-        truth: FleetGroundTruth,
+        fleet: list[Machine] | FleetColumns,
+        truth: FleetGroundTruth | None = None,
         config: SimulatorConfig | None = None,
         seed: int = 0,
     ):
-        self.machines = machines
-        self.truth = truth
         self.config = config or SimulatorConfig()
+        self.columns: FleetColumns | None = None
+        if isinstance(fleet, FleetColumns):
+            if not self.config.vectorized:
+                raise ValueError(
+                    "the scalar tick needs Core objects; materialize the "
+                    "columns with to_machines() to run vectorized=False"
+                )
+            self.columns = fleet.thaw() if fleet.read_only else fleet
+            self.machines: list[Machine] = []
+            self.truth = truth if truth is not None else self.columns.ground_truth()
+            self.n_machines = self.columns.n_machines
+            self.n_cores = self.columns.n_cores
+        else:
+            self.machines = fleet
+            if truth is None:
+                raise TypeError("an object fleet needs an explicit ground truth")
+            self.truth = truth
+            self.n_machines = len(fleet)
+            self.n_cores = sum(len(m.cores) for m in fleet)
         self.rng = np.random.default_rng(seed)
         self.events = EventLog()
         self.production_mix = blended_op_mix()
 
-        n_cores = sum(len(m.cores) for m in machines)
+        n_cores = self.n_cores
         # Unattributed events are dropped rather than spread across a
         # machine's cores: the dilution weight is negligible for 16-64
         # cores and spreading is O(cores) per event at fleet scale.
@@ -190,12 +221,13 @@ class FleetSimulator:
         self._core_by_id: dict[str, Core] = {}
         self._machine_by_core: dict[str, Machine] = {}
         self._mercurial: list[tuple[Machine, Core]] = []
-        for machine in machines:
-            for core in machine.cores:
-                self._core_by_id[core.core_id] = core
-                self._machine_by_core[core.core_id] = machine
-                if core.is_mercurial:
-                    self._mercurial.append((machine, core))
+        if self.columns is None:
+            for machine in self.machines:
+                for core in machine.cores:  # repro: noqa-PERF002 -- object-substrate index build (compat path)
+                    self._core_by_id[core.core_id] = core
+                    self._machine_by_core[core.core_id] = machine
+                    if core.is_mercurial:
+                        self._mercurial.append((machine, core))
 
         self.total_corruptions = 0
         self.app_visible = 0
@@ -230,42 +262,97 @@ class FleetSimulator:
 
         # Vectorized-path caches: per-mercurial-core (silent, mce) rate
         # splits, refreshed on defect onset and then at most every
-        # ``rate_refresh_days`` of core age.
-        n_mercurial = len(self._mercurial)
-        self._machine_ids = [m.machine_id for m in machines]
+        # ``rate_refresh_days`` of core age.  Whole-population arrays
+        # drive the active-core scan: onset is a pure age threshold
+        # (min across the core's defects), so activity and aging never
+        # need a per-core Python trip.  Both substrates fill the same
+        # arrays — the tick itself is substrate-independent.
+        if self.columns is None:
+            n_mercurial = len(self._mercurial)
+            self._machine_ids = [m.machine_id for m in self.machines]
+            self._merc_onset = np.array([
+                min((d.aging.onset_days for d in core.defects), default=np.inf)
+                for _, core in self._mercurial
+            ])
+            self._merc_deploy = np.array(
+                [machine.deploy_day for machine, _ in self._mercurial]
+            )
+            # The age array mirrors core.age_days; the Core objects are
+            # synced on rate refresh (the only in-loop reader) and at
+            # end of run.
+            self._merc_age = np.array(
+                [core.age_days for _, core in self._mercurial]
+            )
+            self._merc_machine_id = [m.machine_id for m, _ in self._mercurial]
+            self._merc_core_id = [c.core_id for _, c in self._mercurial]
+            self._merc_flat: np.ndarray | None = None
+            self._merc_machine_index: np.ndarray | None = None
+            self._merc_synced_age: np.ndarray | None = None
+            self._merc_defect_models: list[tuple] | None = None
+            self._merc_envs: list | None = None
+            self._merc_index_by_flat: dict[int, int] | None = None
+        else:
+            columns = self.columns
+            n_mercurial = columns.n_mercurial
+            self._machine_ids = [str(m) for m in columns.machine_ids.tolist()]
+            merc_flat = np.asarray(columns.merc_core, dtype=np.int64)
+            self._merc_flat = merc_flat
+            self._merc_machine_index = columns.core_machine[merc_flat].astype(
+                np.int64
+            )
+            self._merc_onset = columns.merc_onset.astype(np.float64, copy=True)
+            self._merc_deploy = columns.machine_deploy_day[
+                self._merc_machine_index
+            ].astype(np.float64)
+            self._merc_age = columns.merc_age.astype(np.float64, copy=True)
+            # Mirrors what core.age_days would be on the object
+            # substrate: advanced only at rate refresh, so stale reads
+            # (triage activity checks, confession rates) see the same
+            # age either way.
+            self._merc_synced_age = self._merc_age.copy()
+            self._merc_defect_models = [
+                columns.merc_defects(i) for i in range(n_mercurial)
+            ]
+            self._merc_envs = [columns.merc_env(i) for i in range(n_mercurial)]
+            self._merc_machine_id = [
+                self._machine_ids[int(m)] for m in self._merc_machine_index
+            ]
+            self._merc_core_id = [
+                columns.core_id(int(flat)) for flat in merc_flat.tolist()
+            ]
+            self._merc_index_by_flat = {
+                int(flat): index for index, flat in enumerate(merc_flat.tolist())
+            }
+        self._n_mercurial = n_mercurial
         self._merc_silent = np.zeros(n_mercurial)
         self._merc_mce = np.zeros(n_mercurial)
         self._merc_rate_age = np.full(n_mercurial, -np.inf)
-        # Whole-population arrays for the vectorized active-core scan:
-        # onset is a pure age threshold (min across the core's defects),
-        # so activity and aging never need a per-core Python trip.  The
-        # age array mirrors core.age_days; the Core objects are synced
-        # on rate refresh (the only in-loop reader) and at end of run.
-        self._merc_onset = np.array([
-            min((d.aging.onset_days for d in core.defects), default=np.inf)
-            for _, core in self._mercurial
-        ])
-        self._merc_deploy = np.array(
-            [machine.deploy_day for machine, _ in self._mercurial]
-        )
-        self._merc_age = np.array(
-            [core.age_days for _, core in self._mercurial]
-        )
 
     # -- rate helpers ---------------------------------------------------
 
     @staticmethod
-    def _split_rates(core: Core, op_mix: dict[str, float]) -> tuple[float, float]:
+    def _split_rate_parts(
+        defects, env, age_days: float, op_mix: dict[str, float]
+    ) -> tuple[float, float]:
         """(silent corruption rate, machine-check rate) per op."""
         silent = 0.0
         noisy = 0.0
-        for defect in core.defects:
-            rate = defect.mean_rate(op_mix, core.env, core.age_days)
+        for defect in defects:
+            rate = defect.mean_rate(op_mix, env, age_days)
             if isinstance(defect, MachineCheckDefect):
                 noisy += rate
             else:
                 silent += rate
         return silent, noisy
+
+    @classmethod
+    def _split_rates(
+        cls, core: Core, op_mix: dict[str, float]
+    ) -> tuple[float, float]:
+        """(silent corruption rate, machine-check rate) per op."""
+        return cls._split_rate_parts(
+            core.defects, core.env, core.age_days, op_mix
+        )
 
     def _coverage(self, now_days: float) -> float:
         """Automated corpus coverage: stepwise expansion (§6)."""
@@ -394,7 +481,7 @@ class FleetSimulator:
         probability for the corpus effort at the relevant conditions.
         """
         cfg = self.config
-        n_cores = len(self._core_by_id)
+        n_cores = self.n_cores
         coverage = self._coverage(now)
         self.screening_ops += (
             n_cores * tick / cfg.online_screen_period_days * cfg.online_corpus_ops
@@ -438,34 +525,97 @@ class FleetSimulator:
             coverage=self._coverage(now),
         )
 
+    def _confession_probability_cached(
+        self, merc_index: int, now: float
+    ) -> float:
+        """Columnar twin of :meth:`_confession_probability`.
+
+        The cached (silent, mce) split was computed at exactly the age
+        the object substrate would read back (ages only advance at rate
+        refresh), so this is bit-identical to recomputing from the
+        defect models — same sums, same expression order.
+        """
+        cfg = self.config
+        silent_rate = float(self._merc_silent[merc_index])
+        mce_rate = float(self._merc_mce[merc_index])
+        rate = (
+            (silent_rate + mce_rate)
+            * cfg.offline_env_boost
+            * self._coverage(now)
+        )
+        return 1.0 - math.exp(-rate * cfg.confession_corpus_ops)
+
+    def _merc_defective_by_flat(self, flat: int) -> bool:
+        """Columnar twin of ``core.is_defective_now()`` (stale-age
+        semantics included: activity is judged at the last-synced age,
+        like the object substrate's ``core.age_days``)."""
+        assert self._merc_index_by_flat is not None
+        assert self._merc_synced_age is not None
+        merc_index = self._merc_index_by_flat.get(flat)
+        if merc_index is None:
+            return False
+        return bool(
+            self._merc_synced_age[merc_index] >= self._merc_onset[merc_index]
+        )
+
     def _quarantine(self, core_id: str, now: float) -> None:
-        core = self._core_by_id.get(core_id)
-        if core is None or core_id in self.quarantine_day:
+        if core_id in self.quarantine_day:
             return
-        core.set_online(False)
+        if self.columns is None:
+            core = self._core_by_id.get(core_id)
+            if core is None:
+                return
+            core.set_online(False)
+            is_mercurial = core.is_mercurial
+        else:
+            flat = self.columns.core_index(core_id)
+            if flat is None:
+                return
+            self.columns.online[flat] = False
+            is_mercurial = bool(self.columns.mercurial[flat])
         self.quarantine_day[core_id] = now
-        if core.is_mercurial:
+        if is_mercurial:
             onset = self.truth.onset_days_by_core.get(core_id, 0.0)
             self.detection_latency[core_id] = max(0.0, now - onset)
         if self._obs_on:
-            mercurial = "yes" if core.is_mercurial else "no"
+            mercurial = "yes" if is_mercurial else "no"
             self._m_quarantines.inc(mercurial=mercurial)
-            if core.is_mercurial:
+            if is_mercurial:
                 self._h_latency.observe(self.detection_latency[core_id])
 
     def _apply_policy(self, now: float) -> None:
+        columns = self.columns
         suspects = self.analyzer.suspects(
             now, threshold=self.config.suspicion_retest_threshold
         )
         for core_id, score in suspects:
-            core = self._core_by_id.get(core_id)
-            if core is None or not core.online:
-                continue
+            if columns is None:
+                core = self._core_by_id.get(core_id)
+                if core is None or not core.online:
+                    continue
+                is_mercurial = core.is_mercurial
+                machine_id = self._machine_by_core[core_id].machine_id
+                flat = -1
+            else:
+                maybe_flat = columns.core_index(core_id)
+                if maybe_flat is None or not columns.online[maybe_flat]:
+                    continue
+                flat = maybe_flat
+                is_mercurial = bool(columns.mercurial[flat])
+                machine_id = self._machine_ids[int(columns.core_machine[flat])]
             confessed = False
             decision = self.policy.decide(core_id, score, confessed=False)
             if decision.action is Action.RETEST:
                 # Run confession testing (offline, stress conditions).
-                p = self._confession_probability(core, now) if core.is_mercurial else 0.0
+                if not is_mercurial:
+                    p = 0.0
+                elif columns is None:
+                    p = self._confession_probability(core, now)
+                else:
+                    assert self._merc_index_by_flat is not None
+                    p = self._confession_probability_cached(
+                        self._merc_index_by_flat[flat], now
+                    )
                 for _ in range(self.config.confession_attempts):
                     self.screening_ops += self.config.confession_corpus_ops
                     if self.rng.random() < p:
@@ -474,7 +624,7 @@ class FleetSimulator:
                 if confessed:
                     self._emit(
                         time_days=now,
-                        machine_id=self._machine_by_core[core_id].machine_id,
+                        machine_id=machine_id,
                         core_id=core_id, kind=EventKind.SCREEN_FAIL,
                         reporter=Reporter.AUTOMATED, detail="confession",
                     )
@@ -482,35 +632,70 @@ class FleetSimulator:
             if decision.action in (Action.QUARANTINE_CORE, Action.QUARANTINE_MACHINE):
                 self._quarantine(core_id, now)
                 if decision.action is Action.QUARANTINE_MACHINE:
-                    machine = self._machine_by_core[core_id]
-                    for sibling in machine.cores:
-                        self._quarantine(sibling.core_id, now)
+                    if columns is None:
+                        machine = self._machine_by_core[core_id]
+                        for sibling in machine.cores:  # repro: noqa-PERF002 -- one machine's cores, object substrate
+                            self._quarantine(sibling.core_id, now)
+                    else:
+                        start, stop = columns.machine_core_range(
+                            int(columns.core_machine[flat])
+                        )
+                        for sibling_flat in range(start, stop):
+                            self._quarantine(
+                                columns.core_id(sibling_flat), now
+                            )
+
+    def _is_cee_core(self, core_id: str) -> bool:
+        """Is this core mercurial *and* currently defective?  Substrate-
+        independent (stale-age semantics match, see
+        :meth:`_merc_defective_by_flat`)."""
+        if self.columns is None:
+            core = self._core_by_id[core_id]
+            return core.is_mercurial and core.is_defective_now()
+        flat = self.columns.core_index(core_id)
+        if flat is None or not self.columns.mercurial[flat]:
+            return False
+        return self._merc_defective_by_flat(flat)
 
     def _run_triage(self, now: float, tick: float, new_events: list[CeeEvent]) -> None:
         """Human side: user reports spawn investigations (§6)."""
+        columns = self.columns
         for event in new_events:
             if event.kind is not EventKind.USER_REPORT:
                 continue
             if event.core_id is None:
                 continue
-            core = self._core_by_id[event.core_id]
-            is_cee = core.is_mercurial and core.is_defective_now()
+            is_cee = self._is_cee_core(event.core_id)
             if not self.triage.files_suspect(incident_is_cee=is_cee):
                 continue
             suspect_id = event.core_id
             if is_cee and not self.triage.attributed_core_is_right():
                 # The human fingered a sibling core on the same machine.
-                machine = self._machine_by_core[event.core_id]
-                healthy = [c for c in machine.cores if not c.is_mercurial]
+                if columns is None:
+                    machine = self._machine_by_core[event.core_id]
+                    healthy = [
+                        c.core_id
+                        for c in machine.cores  # repro: noqa-PERF002 -- one machine's cores, object substrate
+                        if not c.is_mercurial
+                    ]
+                else:
+                    flat = columns.core_index(event.core_id)
+                    assert flat is not None
+                    start, stop = columns.machine_core_range(
+                        int(columns.core_machine[flat])
+                    )
+                    healthy = [
+                        columns.core_id(sibling_flat)
+                        for sibling_flat in range(start, stop)
+                        if not columns.mercurial[sibling_flat]
+                    ]
                 if healthy:
                     suspect_id = healthy[
                         int(self.triage.rng.integers(len(healthy)))
-                    ].core_id
-            suspect = self._core_by_id[suspect_id]
+                    ]
             investigation = self.triage.investigate(
                 core_id=suspect_id,
-                core_is_mercurial=suspect.is_mercurial
-                and suspect.is_defective_now(),
+                core_is_mercurial=self._is_cee_core(suspect_id),
                 started_days=now,
             )
             if investigation.outcome is TriageOutcome.CONFIRMED:
@@ -535,12 +720,28 @@ class FleetSimulator:
         self._emit_background(now, tick)
         self._run_screening(now, tick)
 
-    def _refresh_rate(self, index: int) -> None:
-        machine, core = self._mercurial[index]
-        silent, mce = self._split_rates(core, self.production_mix)
+    def _refresh_rate(self, index: int, age_days: float) -> None:
+        """Recompute one mercurial core's cached (silent, mce) split at
+        ``age_days`` — the only moment the simulated core age advances
+        on either substrate."""
+        if self.columns is None:
+            _machine, core = self._mercurial[index]
+            core.age_days = age_days
+            silent, mce = self._split_rates(core, self.production_mix)
+        else:
+            assert self._merc_synced_age is not None
+            assert self._merc_defect_models is not None
+            assert self._merc_envs is not None
+            self._merc_synced_age[index] = age_days
+            silent, mce = self._split_rate_parts(
+                self._merc_defect_models[index],
+                self._merc_envs[index],
+                age_days,
+                self.production_mix,
+            )
         self._merc_silent[index] = silent
         self._merc_mce[index] = mce
-        self._merc_rate_age[index] = core.age_days
+        self._merc_rate_age[index] = age_days
 
     def _tick_vectorized(self, now: float, tick: float) -> None:
         """One tick with all stochastic draws batched across the fleet.
@@ -553,15 +754,19 @@ class FleetSimulator:
         """
         cfg = self.config
         rng = self.rng
+        columns = self.columns
         events: list[CeeEvent] = []
         append = events.append
 
         active: list[int] = []
-        mercurial = self._mercurial
-        if mercurial:
-            online = np.fromiter(
-                (core.online for _, core in mercurial), bool, len(mercurial)
-            )
+        if self._n_mercurial:
+            if columns is None:
+                online = np.fromiter(
+                    (core.online for _, core in self._mercurial),
+                    bool, self._n_mercurial,
+                )
+            else:
+                online = columns.online[self._merc_flat]
             target = np.maximum(now - self._merc_deploy, 0.0)
             self._merc_age = np.where(
                 online, np.maximum(self._merc_age, target), self._merc_age
@@ -573,9 +778,7 @@ class FleetSimulator:
                 | ~np.isfinite(self._merc_rate_age)
             )
             for index in np.nonzero(stale)[0].tolist():
-                _machine, core = mercurial[index]
-                core.age_days = float(ages[index])
-                self._refresh_rate(index)
+                self._refresh_rate(index, float(ages[index]))
             active = np.nonzero(active_mask)[0].tolist()
 
         cap = max(1, int(cfg.max_surfaced_per_channel_per_day * tick))
@@ -602,16 +805,17 @@ class FleetSimulator:
                 total = int(counts.sum())
                 return rng.random(total) < p if total else np.empty(0, bool)
 
+            machine_of = self._merc_machine_id
+            core_of = self._merc_core_id
             mce_attr = channel_attribution(n_mce, cfg.p_attribute_mce)
             cursor = 0
             for j, count in zip(active, n_mce.tolist()):
                 if not count:
                     continue
-                machine, core = self._mercurial[j]
                 for _ in range(count):
                     append(CeeEvent(
-                        now, machine.machine_id,
-                        core.core_id if mce_attr[cursor] else None,
+                        now, machine_of[j],
+                        core_of[j] if mce_attr[cursor] else None,
                         EventKind.MACHINE_CHECK, Reporter.AUTOMATED,
                         None, "mce",
                     ))
@@ -626,22 +830,21 @@ class FleetSimulator:
             for j, count in zip(active, surfaced_selfcheck.tolist()):
                 if not count:
                     continue
-                machine, core = self._mercurial[j]
                 for _ in range(count):
                     if selfcheck_attr[cursor]:
                         self.complaints.report(
                             Complaint(
                                 time_days=now,
                                 application=f"app{app_ids[drawn_apps]}",
-                                machine_id=machine.machine_id,
-                                core_id=core.core_id,
+                                machine_id=machine_of[j],
+                                core_id=core_of[j],
                                 detail="self-check failure",
                             )
                         )
                         drawn_apps += 1
                     else:
                         append(CeeEvent(
-                            now, machine.machine_id, None,
+                            now, machine_of[j], None,
                             EventKind.SELF_CHECK_FAILURE, Reporter.AUTOMATED,
                             None, "self-check failure",
                         ))
@@ -654,11 +857,10 @@ class FleetSimulator:
             for j, count in zip(active, surfaced_crash.tolist()):
                 if not count:
                     continue
-                machine, core = self._mercurial[j]
                 for _ in range(count):
                     append(CeeEvent(
-                        now, machine.machine_id,
-                        core.core_id if crash_attr[cursor] else None,
+                        now, machine_of[j],
+                        core_of[j] if crash_attr[cursor] else None,
                         EventKind.CRASH, Reporter.AUTOMATED,
                         None, "process crash",
                     ))
@@ -671,18 +873,17 @@ class FleetSimulator:
             for j, count in zip(active, surfaced_user.tolist()):
                 if not count:
                     continue
-                machine, core = self._mercurial[j]
                 for _ in range(count):
                     append(CeeEvent(
-                        now, machine.machine_id,
-                        core.core_id if user_attr[cursor] else None,
+                        now, machine_of[j],
+                        core_of[j] if user_attr[cursor] else None,
                         EventKind.USER_REPORT, Reporter.HUMAN,
                         None, "production incident",
                     ))
                     cursor += 1
 
         # Background noise (software bugs, misfiled user suspicion).
-        n_machines = len(self.machines)
+        n_machines = self.n_machines
         n_bg_crash = int(rng.poisson(cfg.bg_crash_rate * n_machines * tick))
         if n_bg_crash:
             for machine_index in rng.integers(
@@ -699,18 +900,26 @@ class FleetSimulator:
             core_picks = rng.random(n_bg_user).tolist()
             user_attr = (rng.random(n_bg_user) < cfg.p_attribute_user).tolist()
             for k, machine_index in enumerate(machine_indices):
-                machine = self.machines[machine_index]
-                cores = machine.cores
-                core = cores[int(core_picks[k] * len(cores))]
+                if columns is None:
+                    machine = self.machines[machine_index]
+                    cores = machine.cores
+                    bad_core_id = cores[
+                        int(core_picks[k] * len(cores))
+                    ].core_id
+                else:
+                    start, stop = columns.machine_core_range(machine_index)
+                    bad_core_id = columns.core_id(
+                        start + int(core_picks[k] * (stop - start))
+                    )
                 append(CeeEvent(
-                    now, machine.machine_id,
-                    core.core_id if user_attr[k] else None,
+                    now, self._machine_ids[machine_index],
+                    bad_core_id if user_attr[k] else None,
                     EventKind.USER_REPORT, Reporter.HUMAN,
                     None, "suspected bad machine",
                 ))
 
         # Screening: cost in bulk, confession draws only for due cores.
-        n_cores = len(self._core_by_id)
+        n_cores = self.n_cores
         coverage = self._coverage(now)
         self.screening_ops += (
             n_cores * tick / cfg.online_screen_period_days
@@ -740,9 +949,8 @@ class FleetSimulator:
                 for j, hit in zip(idx[due].tolist(), confessed):
                     if not hit:
                         continue
-                    machine, core = self._mercurial[j]
                     append(CeeEvent(
-                        now, machine.machine_id, core.core_id,
+                        now, self._merc_machine_id[j], self._merc_core_id[j],
                         EventKind.SCREEN_FAIL, Reporter.AUTOMATED,
                         None, label,
                     ))
@@ -774,19 +982,24 @@ class FleetSimulator:
 
         if cfg.vectorized:
             # The vectorized scan ages cores in the mirror array; sync
-            # the Core objects so post-run readers see the same ages the
+            # the substrate so post-run readers see the same ages the
             # scalar path would have left behind.
-            for index, (_machine, core) in enumerate(self._mercurial):
-                if core.age_days < self._merc_age[index]:
-                    core.age_days = float(self._merc_age[index])
+            if self.columns is None:
+                for index, (_machine, core) in enumerate(self._mercurial):
+                    if core.age_days < self._merc_age[index]:
+                        core.age_days = float(self._merc_age[index])
+            elif self._n_mercurial:
+                np.maximum(
+                    self.columns.merc_age, self._merc_age,
+                    out=self.columns.merc_age,
+                )
 
-        n_cores = sum(len(m.cores) for m in self.machines)
         return SimulationResult(
             config=cfg,
             events=self.events,
             truth=self.truth,
-            n_machines=len(self.machines),
-            n_cores=n_cores,
+            n_machines=self.n_machines,
+            n_cores=self.n_cores,
             quarantined_cores=set(self.quarantine_day),
             quarantine_day=dict(self.quarantine_day),
             detection_latency_days=dict(self.detection_latency),

@@ -57,6 +57,9 @@ class LintConfig:
             DET002 permits host-clock reads — the benchmarking layer.
         slots_modules: rel-path files whose dataclasses PERF001
             requires to declare ``__slots__`` (the hot-path table).
+        percore_loop_modules: rel-path files where PERF002 forbids
+            per-core Python loops over ``.cores`` (the columnar
+            substrate and its fleet-scale consumers).
         events_path: module defining :class:`EventKind` (SAFE001).
         weights_path: module defining ``SUSPICION_WEIGHTS`` (SAFE001).
         obs_names_path: module declaring metric/span names (SAFE002).
@@ -79,6 +82,14 @@ class LintConfig:
         "src/repro/silicon/vm.py",
         "src/repro/storage/wal.py",
         "src/repro/workloads/base.py",
+    )
+    percore_loop_modules: tuple[str, ...] = (
+        "src/repro/engine/runner.py",
+        "src/repro/fleet/columns.py",
+        "src/repro/fleet/population.py",
+        "src/repro/fleet/scheduler.py",
+        "src/repro/fleet/shm.py",
+        "src/repro/fleet/simulator.py",
     )
     events_path: str = "src/repro/core/events.py"
     weights_path: str = "src/repro/detection/weights.py"

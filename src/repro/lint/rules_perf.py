@@ -5,7 +5,8 @@ dataclasses millions of times per campaign; ``__slots__`` keeps them
 off the per-instance ``__dict__`` (measured in the PR-3 bench pass).
 The module table in :class:`~repro.lint.engine.LintConfig` names the
 files where that matters — PERF001 stops a refactor from silently
-dropping the layout optimization.
+dropping the layout optimization, and PERF002 stops per-core Python
+loops from creeping back into the columnar substrate's hot paths.
 """
 
 from __future__ import annotations
@@ -41,6 +42,58 @@ def _declares_slots(node: ast.ClassDef, decorator: ast.expr) -> bool:
     return False
 
 
+def _cores_attributes(iterable: ast.expr) -> Iterable[ast.Attribute]:
+    """``.cores`` attribute accesses inside a loop's iterable expression."""
+    for node in ast.walk(iterable):
+        if isinstance(node, ast.Attribute) and node.attr == "cores":
+            yield node
+
+
+@register
+class PerCoreLoopRule(FileRule):
+    """PERF002: no per-core Python loops in columnar hot-path modules.
+
+    The columnar substrate (:mod:`repro.fleet.columns`) exists so that
+    fleet-scale code paths never iterate ``machine.cores`` in Python —
+    at O(1M) cores one such loop costs more than an entire campaign
+    tick.  This rule flags ``for`` loops (and comprehensions) whose
+    iterable contains a ``.cores`` attribute access in the modules on
+    the hot-path table; the sanctioned object-substrate compatibility
+    paths carry ``# repro: noqa-PERF002`` with a tracking note.
+    """
+
+    rule_id = "PERF002"
+    title = "hot-path modules never loop over .cores in Python"
+    hint = (
+        "use the FleetColumns arrays (flat indices, machine_core_range, "
+        "numpy masks) instead of iterating Core objects; if this is a "
+        "sanctioned object-substrate compat path, add "
+        "'# repro: noqa-PERF002 -- <why>' on the reported line"
+    )
+    src_only = True
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.rel_path not in ctx.config.percore_loop_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables = [node.iter]
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                iterables = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for iterable in iterables:
+                for attr in _cores_attributes(iterable):
+                    yield self.make(ctx, attr, (
+                        "per-core Python loop over "
+                        f"{dotted_source(attr) or '.cores'} in a "
+                        "columnar hot-path module (lint per-core table)"
+                    ))
+
+
 @register
 class HotPathSlotsRule(FileRule):
     """PERF001: hot-path dataclasses must declare ``__slots__``."""
@@ -70,4 +123,4 @@ class HotPathSlotsRule(FileRule):
                 ))
 
 
-__all__ = ["HotPathSlotsRule"]
+__all__ = ["HotPathSlotsRule", "PerCoreLoopRule"]

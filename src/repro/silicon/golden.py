@@ -190,24 +190,50 @@ def golden_execute(op: str, *operands):
 # ``golden_execute`` runs for *every* primitive operation of every
 # workload — on a defective core it runs before the defects perturb the
 # result, so campaign-scale experiments (E15/E16) execute it millions
-# of times over a tiny operand universe (AES field ops cover only
-# 2^8–2^16 distinct inputs).  The LRU below memoizes results keyed on
-# ``(op, operands)``; operations are pure, so a hit is always exact.
-# Trapping operations (DIV/MOD by zero) raise and are never cached.
+# of times.  Memoization is *selective*: only operations whose golden
+# function does real Python-level work (GF(2^8) bit loops, per-lane
+# vector loops, string-allocating POPCNT) go through a per-op LRU.
+# Single-expression scalar ops (ADD/XOR/SHL/...) are dispatched
+# straight to their golden function: hashing an operand tuple costs
+# more than computing them, and high-entropy operand streams (e.g. a
+# CRC's running remainder) would only thrash the LRU — the measured
+# root cause of the old whole-table cache losing to the uncached
+# baseline on the E15 serving campaign.  Operations are pure, so a hit
+# is always exact; trapping ops (DIV/MOD by zero) stay uncached and
+# raise every time.
 
 _CACHE_CAPACITY = 1 << 17
 
+#: operations worth memoizing: Python-loop or allocating golden fns
+#: over operand universes small enough to hit (8-bit field ops repeat
+#: endlessly; vector/copy streams repeat per workload block).
+MEMOIZED_OPS = frozenset({
+    Op.GFMUL, Op.SBOX, Op.INV_SBOX, Op.POPCNT,
+    Op.VADD, Op.VSUB, Op.VMUL, Op.VXOR, Op.VAND, Op.VOR,
+    Op.VSHL, Op.VSHR, Op.VDOT, Op.VSUM, Op.VPERM, Op.COPY,
+})
 
-@functools.lru_cache(maxsize=_CACHE_CAPACITY)
-def _golden_cached(op: str, operands: tuple):
-    return GOLDEN[op](*operands)
 
+def _memo_table() -> dict[str, Callable]:
+    table = {}
+    for op in MEMOIZED_OPS:
+        fn = GOLDEN[op]
+
+        @functools.lru_cache(maxsize=_CACHE_CAPACITY)
+        def cached(operands: tuple, _fn: Callable = fn):
+            return _fn(*operands)
+
+        table[op] = cached
+    return table
+
+
+_MEMO: dict[str, Callable] = _memo_table()
 
 _cache_enabled = os.environ.get("REPRO_GOLDEN_CACHE", "1") != "0"
 
 
 def set_golden_cache(enabled: bool) -> None:
-    """Enable/disable the golden LRU (the bench harness A/Bs this)."""
+    """Enable/disable golden memoization (the bench harness A/Bs this)."""
     global _cache_enabled
     _cache_enabled = bool(enabled)
 
@@ -218,27 +244,44 @@ def golden_cache_enabled() -> bool:
 
 
 def golden_cache_info():
-    """Hit/miss statistics of the golden LRU."""
-    return _golden_cached.cache_info()
+    """Aggregate hit/miss statistics across the per-op LRUs."""
+    infos = [memo.cache_info() for memo in _MEMO.values()]
+    return functools.reduce(
+        lambda a, b: a._replace(
+            hits=a.hits + b.hits,
+            misses=a.misses + b.misses,
+            currsize=a.currsize + b.currsize,
+        ),
+        infos,
+    )
 
 
 def golden_cache_clear() -> None:
     """Drop every memoized golden result (bench hygiene)."""
-    _golden_cached.cache_clear()
+    for memo in _MEMO.values():
+        memo.cache_clear()
 
 
 def golden_call(op: str, operands: tuple):
-    """Memoized :func:`golden_execute` over an operand tuple.
+    """Selectively memoized :func:`golden_execute` over an operand tuple.
 
-    Falls back to the uncached path for unhashable operands (callers
-    passing lists) and preserves ``golden_execute``'s KeyError message
-    for unknown operations.
+    Memoized ops (:data:`MEMOIZED_OPS`) go through their per-op LRU;
+    everything else dispatches straight to its golden function — one
+    frame shorter than :func:`golden_execute`, which stays unchanged as
+    the preserved uncached baseline path.  Falls back to the uncached
+    path for unhashable operands (callers passing lists) and preserves
+    ``golden_execute``'s KeyError message for unknown operations.
     """
     if not _cache_enabled:
         return golden_execute(op, *operands)
+    memo = _MEMO.get(op)
+    if memo is not None:
+        try:
+            return memo(operands)
+        except TypeError:
+            return golden_execute(op, *operands)
     try:
-        return _golden_cached(op, operands)
-    except TypeError:
-        return golden_execute(op, *operands)
+        fn = GOLDEN[op]
     except KeyError:
         raise KeyError(f"unknown operation {op!r}") from None
+    return fn(*operands)

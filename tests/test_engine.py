@@ -155,10 +155,19 @@ class TestGoldenCache:
             golden_call("NOT_AN_OP", (1, 2))
 
     def test_cache_hit_counted(self):
-        golden_call(Op.ADD, (1, 2))
+        # GFMUL is in MEMOIZED_OPS (bit-loop golden fn); trivial scalar
+        # ops like ADD dispatch directly and never touch the LRUs.
+        golden_call(Op.GFMUL, (3, 7))
         before = golden_cache_info().hits
-        golden_call(Op.ADD, (1, 2))
+        golden_call(Op.GFMUL, (3, 7))
         assert golden_cache_info().hits == before + 1
+
+    def test_trivial_ops_not_memoized(self):
+        golden_cache_clear()
+        golden_call(Op.ADD, (1, 2))
+        golden_call(Op.ADD, (1, 2))
+        info = golden_cache_info()
+        assert info.hits == 0 and info.misses == 0
 
     def test_disable_falls_back_to_direct(self):
         set_golden_cache(False)

@@ -1,0 +1,199 @@
+"""Columnar fleet substrate: build parity, adapters, simulator parity.
+
+The correctness anchor for the struct-of-arrays refactor: everything
+the columnar substrate produces must be *bit-identical* to the object
+substrate at equal seeds — fleet content, ground truth, and full
+simulated event streams.  ``build_legacy`` / the scalar tick remain
+the statistical baselines they always were; the bit-exact anchor is
+columnar vs the object vectorized path it replaced.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fleet.columns import DEFECT_MODE_CODES, FleetColumns, defect_mode_code
+from repro.fleet.population import FleetBuilder, ground_truth_map
+from repro.fleet.product import DEFAULT_PRODUCTS
+from repro.fleet.simulator import FleetSimulator, SimulatorConfig
+
+N_MACHINES = 120
+
+
+def _builder(seed=11, products=DEFAULT_PRODUCTS):
+    return FleetBuilder(
+        products=products, seed=seed, deployment_window=(-700.0, 0.0)
+    )
+
+
+def _boosted_products(boost=40.0):
+    return tuple(
+        dataclasses.replace(p, core_prevalence=p.core_prevalence * boost)
+        for p in DEFAULT_PRODUCTS
+    )
+
+
+def _machine_fingerprint(machine):
+    return (
+        machine.machine_id,
+        machine.product.sku,
+        machine.deploy_day,
+        tuple(
+            (
+                core.core_id,
+                core.is_mercurial,
+                tuple(repr(d) for d in core.defects),
+            )
+            for core in machine.cores
+        ),
+    )
+
+
+def _event_stream(result):
+    return [
+        (e.time_days, e.machine_id, e.core_id, str(e.kind), str(e.reporter),
+         e.detail)
+        for e in result.events
+    ]
+
+
+class TestBuildParity:
+    def test_to_machines_matches_object_builder(self):
+        machines, truth = _builder().build(N_MACHINES)
+        columns = _builder().build_columns(N_MACHINES)
+        col_machines, col_truth = columns.to_machines()
+        assert [_machine_fingerprint(m) for m in machines] == [
+            _machine_fingerprint(m) for m in col_machines
+        ]
+        assert truth.n_mercurial == col_truth.n_mercurial
+        assert sorted(truth.mercurial_core_ids) == sorted(
+            col_truth.mercurial_core_ids
+        )
+        assert truth.onset_days_by_core == col_truth.onset_days_by_core
+
+    def test_ground_truth_map_matches_object(self):
+        machines, _ = _builder().build(N_MACHINES)
+        columns = _builder().build_columns(N_MACHINES)
+        assert columns.ground_truth_map() == ground_truth_map(machines)
+
+    def test_counts_and_sizes(self):
+        columns = _builder().build_columns(N_MACHINES)
+        assert columns.n_machines == N_MACHINES
+        assert columns.n_cores == int(columns.core_machine.shape[0])
+        assert columns.n_mercurial == int(columns.mercurial.sum())
+        assert columns.nbytes > 0
+
+
+class TestIndexing:
+    def test_core_id_index_round_trip(self):
+        columns = _builder().build_columns(30)
+        for flat in (0, 17, columns.n_cores - 1):
+            assert columns.core_index(columns.core_id(flat)) == flat
+
+    def test_unknown_core_id_is_none(self):
+        columns = _builder().build_columns(10)
+        assert columns.core_index("m99999/c00") is None
+        assert columns.core_index("garbage") is None
+
+    def test_machine_core_range_partitions_fleet(self):
+        columns = _builder().build_columns(25)
+        stops = []
+        for index in range(columns.n_machines):
+            start, stop = columns.machine_core_range(index)
+            assert (columns.core_machine[start:stop] == index).all()
+            stops.append((start, stop))
+        assert stops[0][0] == 0
+        assert stops[-1][1] == columns.n_cores
+
+
+class TestAdapters:
+    def test_from_machines_round_trips_ids(self):
+        machines, _ = _builder().build(20)
+        columns = FleetColumns.from_machines(machines)
+        assert columns.n_cores == sum(len(m.cores) for m in machines)
+        assert columns.ground_truth_map() == ground_truth_map(machines)
+
+    def test_adapted_columns_refuse_to_materialize(self):
+        machines, _ = _builder().build(5)
+        columns = FleetColumns.from_machines(machines)
+        with pytest.raises(ValueError):
+            columns.to_machines()
+
+    def test_defect_mode_codes_distinct_and_nonzero(self):
+        codes = set(DEFECT_MODE_CODES.values())
+        assert len(codes) == len(DEFECT_MODE_CODES)
+        assert 0 not in codes  # 0 is reserved for "healthy"
+        assert defect_mode_code(()) == 0
+
+    def test_thaw_copies_mutable_state_only(self):
+        columns = _builder().build_columns(10)
+        thawed = columns.thaw()
+        thawed.online[0] = False
+        assert bool(columns.online[0]) is True
+        # immutable columns are shared, not copied
+        assert thawed.core_machine is columns.core_machine
+
+
+class TestSimulatorParity:
+    CONFIG = SimulatorConfig(horizon_days=60.0, warmup_days=0.0)
+
+    def _object_result(self):
+        machines, truth = _builder(products=_boosted_products()).build(150)
+        return FleetSimulator(machines, truth, self.CONFIG, seed=3).run()
+
+    def _columnar_result(self):
+        columns = _builder(products=_boosted_products()).build_columns(150)
+        return FleetSimulator(columns, config=self.CONFIG, seed=3).run()
+
+    def test_event_streams_bit_identical(self):
+        obj = self._object_result()
+        col = self._columnar_result()
+        assert _event_stream(obj) == _event_stream(col)
+        assert sorted(obj.quarantined_cores) == sorted(col.quarantined_cores)
+        assert obj.quarantine_day == col.quarantine_day
+        assert obj.detection_latency_days == col.detection_latency_days
+        assert obj.total_corruptions == col.total_corruptions
+        assert obj.app_visible_corruptions == col.app_visible_corruptions
+        assert obj.screening_ops_spent == col.screening_ops_spent
+
+    def test_columnar_requires_vectorized_tick(self):
+        columns = _builder().build_columns(5)
+        config = SimulatorConfig(
+            horizon_days=5.0, warmup_days=0.0, vectorized=False
+        )
+        with pytest.raises(ValueError, match="to_machines"):
+            FleetSimulator(columns, config=config, seed=1)
+
+    def test_truth_derived_from_columns(self):
+        columns = _builder().build_columns(40)
+        sim = FleetSimulator(
+            columns,
+            config=SimulatorConfig(horizon_days=1.0, warmup_days=0.0),
+            seed=1,
+        )
+        assert sim.truth.n_mercurial == columns.n_mercurial
+        assert sorted(sim.truth.mercurial_core_ids) == sorted(
+            columns.core_id(int(flat)) for flat in columns.merc_core
+        )
+
+    def test_object_path_still_requires_explicit_truth(self):
+        machines, _ = _builder().build(5)
+        with pytest.raises(TypeError):
+            FleetSimulator(machines, None, self.CONFIG, seed=1)
+
+
+class TestMercurialViews:
+    def test_merc_defects_match_materialized_cores(self):
+        columns = _builder(products=_boosted_products()).build_columns(60)
+        machines, _ = _builder(products=_boosted_products()).build(60)
+        core_by_id = {
+            c.core_id: c for m in machines for c in m.cores
+        }
+        assert columns.n_mercurial > 0
+        for index in range(columns.n_mercurial):
+            flat = int(columns.merc_core[index])
+            core = core_by_id[columns.core_id(flat)]
+            assert tuple(repr(d) for d in columns.merc_defects(index)) == (
+                tuple(repr(d) for d in core.defects)
+            )

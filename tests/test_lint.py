@@ -337,6 +337,61 @@ class TestPerf001Slots:
             assert (REPO / rel).is_file(), f"stale slots table entry {rel}"
 
 
+class TestPerf002PerCoreLoops:
+    CONFIG = dict(percore_loop_modules=("src/repro/hot.py",))
+
+    def test_for_loop_over_cores_flagged(self):
+        findings = lint_snippet("""
+            def scan(machines):
+                for machine in machines:
+                    for core in machine.cores:
+                        core.touch()
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert rule_ids(findings) == ["PERF002"]
+
+    def test_comprehension_over_cores_flagged(self):
+        findings = lint_snippet("""
+            def scan(machines):
+                return [c for m in machines for c in m.cores]
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert rule_ids(findings) == ["PERF002"]
+
+    def test_cores_outside_iterable_clean(self):
+        # .cores in the element/body is counting, not per-core looping.
+        findings = lint_snippet("""
+            def total(machines):
+                return sum(len(m.cores) for m in machines)
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint_snippet("""
+            def scan(machines):
+                return [c for m in machines for c in m.cores]  # repro: noqa-PERF002 -- compat path
+        """, rel_path="src/repro/hot.py", **self.CONFIG)
+        assert findings == []
+
+    def test_cold_module_not_checked(self):
+        findings = lint_snippet("""
+            def scan(machines):
+                for machine in machines:
+                    for core in machine.cores:
+                        core.touch()
+        """, rel_path="src/repro/cold.py", **self.CONFIG)
+        assert findings == []
+
+    def test_percore_table_modules_exist(self):
+        for rel in LintConfig().percore_loop_modules:
+            assert (REPO / rel).is_file(), f"stale per-core table entry {rel}"
+
+    def test_repo_hot_paths_clean(self):
+        result = run_lint(
+            ["src"], root=REPO,
+            config=LintConfig(select=frozenset({"PERF002"})),
+        )
+        assert result.new == []
+
+
 class TestApi001MutableDefaults:
     def test_list_default_flagged(self):
         findings = lint_snippet("def f(xs=[]):\n    return xs\n")
