@@ -1,0 +1,44 @@
+"""E19 — fleet proxy screening: the budget × prevalence × corpus grid."""
+
+from benchmarks.conftest import is_ci_scale
+
+from repro.analysis.experiments import run_fleetscreen_grid
+
+
+def test_e19_fleetscreen_grid(benchmark, show):
+    if is_ci_scale():
+        kwargs = dict(n_machines=60, horizon_days=60.0)
+    else:
+        kwargs = dict(n_machines=120, horizon_days=120.0)
+    result = benchmark.pedantic(
+        run_fleetscreen_grid, kwargs=kwargs, rounds=1, iterations=1
+    )
+    show(result["rendered"])
+
+    assert result["corpora"] == ["full", "distilled"]
+
+    # The headline physics, on the measured grid: distillation keeps
+    # full unit coverage at a fraction of the run cost...
+    assert result["distilled_cheaper_at_equal_coverage"]
+    # ...so under a binding budget the cheaper battery sweeps the fleet
+    # faster and never detects less than the full corpus...
+    assert result["distilled_detects_no_less"]
+    # ...and paying more budget buys more (or equal) detection.
+    assert result["budget_buys_detection"]
+
+    grid = result["grid"]
+    tight, wide = result["budgets"][0], result["budgets"][-1]
+    for scale in result["prevalence_scales"]:
+        for corpus in result["corpora"]:
+            cell = grid[tight][scale][corpus]
+            # budget accounting invariant: never spend over the allowance
+            assert cell["machine_seconds"] <= cell["budget_machine_seconds"]
+            # the distilled battery is the same battery at every budget
+            assert (
+                cell["battery_ops"] == grid[wide][scale][corpus]["battery_ops"]
+            )
+        # the tight budget is genuinely binding: coverage was lost
+        assert grid[tight][scale]["full"]["skipped_slots"] > 0
+
+    # the E9 anchor rows came along for pricing context
+    assert len(result["baseline"]) == len(result["baseline_labels"]) == 2

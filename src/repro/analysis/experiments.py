@@ -37,6 +37,14 @@ from repro.core.report import Complaint, CoreComplaintService
 from repro.core.taxonomy import Symptom
 from repro.core.triage import HumanTriageModel, TriageOutcome
 from repro.detection.corpus import TestCorpus
+from repro.detection.fleetscreen import (
+    DistilledBattery,
+    RideAlongCampaign,
+    RideAlongConfig,
+    RideAlongScreener,
+    distill,
+    full_battery,
+)
 from repro.detection.offline import OfflineScreener, OfflineScreenerConfig
 from repro.detection.online import OnlineScreener
 from repro.detection.quarantine import CoreQuarantine, MachineQuarantine
@@ -1701,6 +1709,208 @@ def run_instrcheck_grid(
     }
 
 
+# ---------------------------------------------------------------------
+# E19 — fleet-scale proxy screening: budget × prevalence × corpus grid
+# ---------------------------------------------------------------------
+
+#: the two corpus arms E19 races (SiliFuzz question: what does
+#: distillation cost in detection power?)
+FLEETSCREEN_CORPORA: tuple[str, ...] = ("full", "distilled")
+
+
+def _fleetscreen_battery(corpus_kind: str) -> DistilledBattery:
+    """Build the battery for one E19 corpus arm."""
+    corpus = TestCorpus.standard()
+    if corpus_kind == "full":
+        return full_battery(corpus)
+    if corpus_kind == "distilled":
+        return distill(corpus)
+    raise ValueError(f"unknown corpus arm {corpus_kind!r}")
+
+
+def _fleetscreen_cell(
+    cell: tuple[float, float, str],
+    *,
+    n_machines: int,
+    horizon_days: float,
+    seed: int,
+) -> tuple[float, float, str, dict]:
+    """Run one (budget, prevalence scale, corpus) E19 cell; module-level
+    so the pool can pickle it.
+
+    The fleet seed depends only on the campaign seed and the prevalence
+    scale, so both corpus arms at every budget face the *identical*
+    mercurial cores, and a cell's summary is byte-identical regardless
+    of which worker runs it.
+    """
+    budget, prevalence_scale, corpus_kind = cell
+    products = tuple(
+        dataclasses.replace(
+            p, core_prevalence=min(1.0, p.core_prevalence * prevalence_scale)
+        )
+        for p in DEFAULT_PRODUCTS
+    )
+    builder = FleetBuilder(
+        products=products,
+        seed=seed + 7 + int(prevalence_scale),
+        deployment_window=(-400.0, 0.0),
+    )
+    columns = builder.build_columns(n_machines)
+    battery = _fleetscreen_battery(corpus_kind)
+    screener = RideAlongScreener(
+        battery, RideAlongConfig(budget_fraction=budget)
+    )
+    campaign = RideAlongCampaign(columns, screener, seed=seed + 3)
+    report = campaign.run(horizon_days)
+    summary = {
+        "n_cores": columns.n_cores,
+        "n_mercurial": columns.n_mercurial,
+        "n_active": report.n_active,
+        "detected": len(report.detected),
+        "detected_fraction": report.detected_fraction,
+        "median_latency_days": report.median_latency_days,
+        "escaped_corruptions": report.escaped_corruptions,
+        "machine_seconds": report.machine_seconds,
+        "budget_machine_seconds": report.budget_machine_seconds,
+        "skipped_slots": report.skipped_slots,
+        "n_confessions": report.n_confessions,
+        "battery_ops": battery.total_ops,
+        "battery_coverage": battery.coverage_fraction,
+        "battery_tests": len(battery.tests),
+    }
+    return budget, prevalence_scale, corpus_kind, summary
+
+
+def run_fleetscreen_grid(
+    n_machines: int = 120,
+    horizon_days: float = 120.0,
+    budgets: tuple[float, ...] = (2.5e-7, 2e-6, 2e-5),
+    prevalence_scales: tuple[float, ...] = (200.0, 800.0),
+    seed: int = 0,
+    workers: int | None = None,
+) -> dict:
+    """E19: fleet-scale proxy screening across a budget × prevalence ×
+    corpus grid, priced against E9's periodic-screening baseline.
+
+    Each cell runs a :class:`~repro.detection.fleetscreen.RideAlongCampaign`:
+    a day-stepped screening-only detection loop where spare scheduler
+    slots get the battery under a machine-second budget and confessions
+    drive the weighted quarantine loop.  The grid measures
+    time-to-detection (activation → quarantine) and
+    escapes-before-detection (expected corrupt results leaked by
+    active, unquarantined defects) as the budget, the defect
+    prevalence, and the corpus (full vs SiliFuzz-distilled) vary.
+
+    Expected shape: the distilled battery reaches ≥90% of the full
+    corpus's unit coverage at a fraction of its run cost, so under a
+    *binding* budget it screens many more cores per day and detects at
+    least as many defects — the SiliFuzz trade in one grid.  (Budgets
+    are tiny fractions because screening genuinely is: one full-corpus
+    fleet sweep costs ~7×10⁻⁶ of a day's machine-seconds.)  More
+    budget buys detection; the E9 frontier rows anchor what
+    drain-based periodic policies pay for comparable latency.
+    """
+    cells = [
+        (budget, scale, corpus_kind)
+        for budget in budgets
+        for scale in prevalence_scales
+        for corpus_kind in FLEETSCREEN_CORPORA
+    ]
+    cell_fn = functools.partial(
+        _fleetscreen_cell,
+        n_machines=n_machines,
+        horizon_days=horizon_days,
+        seed=seed,
+    )
+    results = run_tasks(cell_fn, cells, workers=workers)
+
+    grid: dict[str, dict[str, dict[str, dict]]] = {}
+    for budget, scale, corpus_kind, summary in results:
+        grid.setdefault(f"{budget:g}", {}).setdefault(
+            f"{scale:g}", {}
+        )[corpus_kind] = summary
+
+    # E9 anchor: the periodic online/offline policy frontier over the
+    # same defect-rate ensemble E9 samples.
+    rng = np.random.default_rng(seed + 29)
+    rates = [float(10.0 ** rng.uniform(-8.0, -3.0)) for _ in range(120)]
+    baseline_policies = [
+        ScreeningPolicy(period_days=7.0, corpus_ops=2e5, env_boost=1.0),
+        ScreeningPolicy(period_days=90.0, corpus_ops=2e6, env_boost=6.0,
+                        drain_coreseconds=120.0),
+    ]
+    baseline_labels = ["online weekly (E9)", "offline quarterly (E9)"]
+    baseline = policy_frontier(baseline_policies, rates)
+
+    rows = []
+    for budget in budgets:
+        for scale in prevalence_scales:
+            for corpus_kind in FLEETSCREEN_CORPORA:
+                cell = grid[f"{budget:g}"][f"{scale:g}"][corpus_kind]
+                rows.append([
+                    f"{budget:g}", f"{scale:g}", corpus_kind,
+                    f"{cell['detected']}/{cell['n_active']}",
+                    f"{cell['median_latency_days']:.1f}",
+                    f"{cell['escaped_corruptions']:.1f}",
+                    f"{cell['machine_seconds']:.0f}",
+                    f"{cell['skipped_slots']}",
+                ])
+
+    # Headline 1: distillation keeps ≥90% unit coverage at measurably
+    # lower run cost (the SiliFuzz claim, checked on the built corpus).
+    sample = grid[f"{budgets[0]:g}"][f"{prevalence_scales[0]:g}"]
+    distilled_cheaper_at_equal_coverage = (
+        sample["distilled"]["battery_coverage"] >= 0.9
+        and sample["distilled"]["battery_ops"] < sample["full"]["battery_ops"]
+    )
+    # Headline 2: at the tightest (binding) budget the cheaper battery
+    # screens more cores per day, so the distilled arm never detects
+    # less than the full corpus does.
+    tight = grid[f"{budgets[0]:g}"]
+    distilled_detects_no_less = all(
+        tight[f"{scale:g}"]["distilled"]["detected"]
+        >= tight[f"{scale:g}"]["full"]["detected"]
+        for scale in prevalence_scales
+    )
+    # Headline 3: budget buys latency — the largest budget's distilled
+    # arm detects at least as much as the smallest's, everywhere.
+    wide = grid[f"{budgets[-1]:g}"]
+    budget_buys_detection = all(
+        wide[f"{scale:g}"]["distilled"]["detected"]
+        >= tight[f"{scale:g}"]["distilled"]["detected"]
+        for scale in prevalence_scales
+    )
+
+    rendered = render_table(
+        ["budget", "prev×", "corpus", "detected", "median days",
+         "escapes", "machine-s", "skipped"],
+        rows,
+        title=f"E19: fleet proxy screening ({n_machines} machines, "
+              f"{horizon_days:g}d horizon)",
+    ) + "".join(
+        f"\n{label}: median {row['median_days_to_detect']:.1f}d to detect, "
+        f"cost fraction {row['compute_cost_fraction']:.2e}"
+        for label, row in zip(baseline_labels, baseline)
+    ) + (
+        f"\ndistilled battery: {sample['distilled']['battery_ops']} ops vs "
+        f"{sample['full']['battery_ops']} full "
+        f"({sample['distilled']['battery_coverage']:.0%} unit coverage)"
+    )
+    return {
+        "grid": grid,
+        "budgets": [f"{b:g}" for b in budgets],
+        "prevalence_scales": [f"{s:g}" for s in prevalence_scales],
+        "corpora": list(FLEETSCREEN_CORPORA),
+        "baseline": baseline,
+        "baseline_labels": baseline_labels,
+        "distilled_cheaper_at_equal_coverage":
+            distilled_cheaper_at_equal_coverage,
+        "distilled_detects_no_less": distilled_detects_no_less,
+        "budget_buys_detection": budget_buys_detection,
+        "rendered": rendered,
+    }
+
+
 #: registry mapping experiment id → (title, runner)
 EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
     "F1": ("Fig. 1: reported CEE rates (normalized)", run_fig1),
@@ -1724,4 +1934,6 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., dict]]] = {
             run_serve_at_scale),
     "E18": ("Instruction-level checking: cost vs coverage grid",
             run_instrcheck_grid),
+    "E19": ("Fleet proxy screening: budget × prevalence × corpus grid",
+            run_fleetscreen_grid),
 }

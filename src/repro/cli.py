@@ -16,6 +16,8 @@ Usage::
     python -m repro bench --scale ci      # perf scorecards -> BENCH_<ID>.json
     python -m repro bench serve-scale     # the E17 grid -> BENCH_E17.json
     python -m repro bench instrcheck      # the E18 grid -> BENCH_E18.json
+    python -m repro bench fleetscreen     # the E19 grid -> BENCH_E19.json
+    python -m repro run E19 --scale ci    # fleet-screening grid, smoke scale
     python -m repro trace e18             # instrcheck catch-attribution timeline
     python -m repro run E1 --trials 8 --workers 4   # parallel Monte-Carlo
     python -m repro metrics e15           # Prometheus-text metric dump
@@ -52,6 +54,7 @@ _CI_KWARGS: dict[str, dict] = {
     "E16": dict(ticks=200),
     "E17": dict(ticks=200),
     "E18": dict(units=160),
+    "E19": dict(n_machines=60, horizon_days=60.0),
 }
 
 #: campaign experiments with ``--json`` scorecard output: experiment id
@@ -307,7 +310,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("cases", help="screen the §2 named defect cases")
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
-        "experiment", help="experiment ID (F1, E1..E17) or 'all'"
+        "experiment", help="experiment ID (F1, E1..E19) or 'all'"
     )
     run_parser.add_argument(
         "--scale", choices=("full", "ci"), default="full",

@@ -40,6 +40,8 @@ class EventKind(enum.Enum):
     INSTRCHECK_MISMATCH = "instrcheck_mismatch"   # duplicate-execution digest split
     CHECKER_LAG_OVERFLOW = "checker_lag_overflow"  # MEEK check queue dropped entries
     REPLAY_DIVERGENCE = "replay_divergence"       # replayed granule disagreed
+    FLEETSCREEN_FAIL = "fleetscreen_fail"         # distilled fleet battery confessed
+    RIDEALONG_SKIPPED = "ridealong_skipped"       # ride-along budget exhausted
 
 
 class Reporter(enum.Enum):

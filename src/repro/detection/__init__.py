@@ -16,6 +16,10 @@ pre/post-deployment, offline/online, infrastructure/application); see
   baseline.
 - :mod:`repro.detection.quarantine` — core- and machine-level
   isolation with cost accounting, plus safe-task analysis (§6.1).
+- :mod:`repro.detection.fleetscreen` — SiliFuzz-style corpus
+  distillation, vectorized whole-fleet screening over the columnar
+  substrate, and budgeted ride-along screening in scheduler spare
+  cycles.
 """
 
 from repro.detection.characterize import (
@@ -27,6 +31,18 @@ from repro.detection.characterize import (
     synthesize_regression_test,
 )
 from repro.detection.corpus import ScreeningTest, TestCorpus, make_targeted_test
+from repro.detection.fleetscreen import (
+    DistilledBattery,
+    FleetScreener,
+    FleetScreenResult,
+    RideAlongCampaign,
+    RideAlongConfig,
+    RideAlongReport,
+    RideAlongScreener,
+    distill,
+    full_battery,
+    screen_shard,
+)
 from repro.detection.lockstep import LockstepMismatch, LockstepPair
 from repro.detection.offline import OfflineScreener, OfflineScreenerConfig
 from repro.detection.online import OnlineScreener, OnlineScreenerConfig
@@ -60,6 +76,16 @@ __all__ = [
     "ScreeningTest",
     "TestCorpus",
     "make_targeted_test",
+    "DistilledBattery",
+    "FleetScreener",
+    "FleetScreenResult",
+    "RideAlongCampaign",
+    "RideAlongConfig",
+    "RideAlongReport",
+    "RideAlongScreener",
+    "distill",
+    "full_battery",
+    "screen_shard",
     "LockstepMismatch",
     "LockstepPair",
     "OfflineScreener",

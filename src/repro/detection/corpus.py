@@ -42,7 +42,12 @@ from repro.workloads.locking import run_locked_counter
 
 @dataclasses.dataclass
 class ScreeningTest:
-    """One corpus entry: a pass/fail probe of specific units."""
+    """One corpus entry: a pass/fail probe of specific units.
+
+    ``target_units`` and ``approx_ops`` are the entire input to corpus
+    distillation (:func:`repro.detection.fleetscreen.distill`): the
+    greedy cover only needs to know what a test sees and what it costs.
+    """
 
     name: str
     target_units: frozenset
@@ -480,15 +485,18 @@ class TestCorpus:
         self.tests.append(test)
 
     def covered_units(self) -> frozenset:
+        """Union of every test's target units — what this corpus can see."""
         covered: set = set()
         for test in self.tests:
             covered |= test.target_units
         return frozenset(covered)
 
     def coverage_gaps(self) -> frozenset:
+        """Functional units no test targets: defects there are invisible."""
         return frozenset(set(FunctionalUnit) - self.covered_units())
 
     def total_ops(self) -> int:
+        """Run cost of one full battery pass, in primitive ops."""
         return sum(test.approx_ops for test in self.tests)
 
     def screen(self, core: Core, repetitions: int = 1) -> ScreenResult:

@@ -12,6 +12,10 @@ catching environment-gated defects the online screener can never see.
 Sweep order matters ("the order in which the tests are run and swept
 through the (f, V, T) space can impact time-to-failure", §4), so the
 sweep schedule is explicit and configurable.
+
+The columnar analogue of the envelope sweep is the ``env_boost``
+multiplier in :mod:`repro.detection.fleetscreen`, which prices the
+same out-of-envelope advantage without per-core object churn.
 """
 
 from __future__ import annotations

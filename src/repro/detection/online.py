@@ -10,6 +10,11 @@ screens as many cores as fit, in round-robin order.  It tests at the
 machine's current operating point (it cannot sweep f/V/T — that is the
 offline screener's privilege), so environment-gated defects can hide
 from it indefinitely.
+
+This screener walks :class:`~repro.silicon.core.Core` objects one at a
+time; its fleet-scale counterpart over columnar fleets is
+:mod:`repro.detection.fleetscreen` (vectorized passes, distilled
+batteries, explicit machine-second budgets).
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ class OnlineScreenerConfig:
     ops_per_coreday: float = 5e6
 
     def ops_budget_per_core(self) -> int:
+        """Ops one core may spend on tests in a single round."""
         return int(self.duty_cycle * self.ops_per_coreday)
 
 
@@ -102,4 +108,5 @@ class OnlineScreener:
         return results
 
     def confessions(self, results: Iterable[ScreenResult]) -> list[ScreenResult]:
+        """Filter a round's results down to the cores that confessed."""
         return [result for result in results if result.confessed]

@@ -55,6 +55,7 @@ class ScreenerAxes:
     level: Level
 
     def describe(self) -> str:
+        """Render the four axis values as a compact slash-joined tag."""
         return (
             f"{self.automation.value}/{self.phase.value}/"
             f"{self.mode.value}/{self.level.value}"
@@ -104,6 +105,7 @@ class ScreeningBudget:
     confessions: int = 0
 
     def add(self, result: ScreenResult) -> None:
+        """Fold one core's screen into the campaign totals."""
         self.total_ops += result.ops_cost
         self.total_tests += result.tests_run
         self.total_drain_coreseconds += result.drain_cost_coreseconds
@@ -112,6 +114,7 @@ class ScreeningBudget:
             self.confessions += 1
 
     def render(self) -> str:
+        """One-line human summary of the campaign's cost and yield."""
         return (
             f"screened {self.cores_screened} cores, "
             f"{self.total_tests} tests, {self.total_ops} ops, "

@@ -71,6 +71,14 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         "kept just under SCREEN_FAIL because a heterogeneous checker "
         "pair leaves residual ambiguity about *which* core miscomputed",
     ),
+    EventKind.FLEETSCREEN_FAIL: SuspicionWeight(
+        3.0,
+        "a distilled per-unit screening battery failed on known inputs "
+        "during a fleet-wide or ride-along screen; the same confession "
+        "class as SCREEN_FAIL — the battery is a subset of the same "
+        "corpus, selected for coverage, so a failure carries the same "
+        "evidence value",
+    ),
     EventKind.MACHINE_CHECK: SuspicionWeight(
         2.5,
         "logged MCEs are hard hardware evidence, though not always "
@@ -154,6 +162,13 @@ SUSPICION_WEIGHTS: Mapping[EventKind, SuspicionWeight] = {
         0.2,
         "the MEEK check-lag queue overflowed and dropped entries; an "
         "operational breadcrumb about lost *coverage*, not evidence of "
+        "miscomputation — logged so forensics can explain blind spots",
+    ),
+    EventKind.RIDEALONG_SKIPPED: SuspicionWeight(
+        0.2,
+        "a ride-along screening pass ran out of machine-second budget "
+        "before reaching some cores; an operational breadcrumb about "
+        "lost *coverage* (like CHECKER_LAG_OVERFLOW), not evidence of "
         "miscomputation — logged so forensics can explain blind spots",
     ),
     EventKind.AUTOSCALE_ACTION: SuspicionWeight(

@@ -614,6 +614,159 @@ def bench_instrcheck(scale: str, workers: int) -> BenchScorecard:
     )
 
 
+def bench_fleetscreen(scale: str, workers: int) -> BenchScorecard:
+    """E19 fleet-screening grid: serial vs engine fan-out, the
+    worker-count invariance gate, and a ≥100k-core columnar screen arm.
+
+    Three measurements:
+
+    - **grid A/B** — the full budget × prevalence × corpus E19 grid run
+      twice, ``workers=1`` as the timing baseline then fanned out, with
+      both result grids fingerprinted.  The fingerprints must match: a
+      same-seed E19 scorecard is bit-identical no matter how many
+      workers ran it (the committed ``worker_invariant`` gate).
+    - **distillation gate** — the committed SiliFuzz claim: the
+      distilled battery keeps ≥90% of the full corpus's unit coverage
+      at measurably lower run cost
+      (``distilled_cheaper_at_equal_coverage``), plus the grid's other
+      headline booleans.
+    - **O(100k)-core arm** — a 2,600-machine (~104k-core) columnar
+      fleet built, published to shared memory, attached read-only, and
+      screened in one vectorized pass with the distilled battery
+      (``scale_*`` / ``snapshot_*`` metrics); the full corpus screens
+      the same snapshot so the per-pass cost gap is measured on
+      identical cores.
+    """
+    import hashlib
+
+    from repro.analysis.experiments import run_fleetscreen_grid
+    from repro.detection.corpus import TestCorpus
+    from repro.detection.fleetscreen import FleetScreener, distill, full_battery
+    from repro.fleet import shm as fleet_shm
+    from repro.fleet.population import FleetBuilder
+
+    if scale == "ci":
+        n_machines, horizon = 60, 60.0
+    else:
+        n_machines, horizon = 120, 120.0
+
+    def fingerprint(result: dict) -> str:
+        payload = {
+            "grid": result["grid"],
+            # frontier rows carry ScreeningPolicy objects; fingerprint
+            # only the scalar columns
+            "baseline": [
+                {k: v for k, v in row.items()
+                 if isinstance(v, (int, float, str, bool))}
+                for row in result["baseline"]
+            ],
+            "headlines": [
+                result["distilled_cheaper_at_equal_coverage"],
+                result["distilled_detects_no_less"],
+                result["budget_buys_detection"],
+            ],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
+    baseline_s, serial = _timed(
+        lambda: run_fleetscreen_grid(
+            n_machines=n_machines, horizon_days=horizon, workers=1
+        )
+    )
+    wall_s, fanned = _timed(
+        lambda: run_fleetscreen_grid(
+            n_machines=n_machines, horizon_days=horizon, workers=workers
+        )
+    )
+    serial_fp = fingerprint(serial)
+    fanned_fp = fingerprint(fanned)
+    cells = (
+        len(fanned["budgets"])
+        * len(fanned["prevalence_scales"])
+        * len(fanned["corpora"])
+    )
+    total_ticks = cells * int(horizon)
+
+    # O(100k)-core arm: the default core mix averages ~40 cores/machine,
+    # so 2,600 machines is a ≈104k-core fleet; screened zero-copy off a
+    # shared-memory snapshot at both scales (one vectorized pass is
+    # cheap enough for CI).
+    corpus = TestCorpus.standard()
+    distilled = distill(corpus)
+    full = full_battery(corpus)
+    scale_machines = 2_600
+    scale_build_s, scale_columns = _timed(
+        lambda: FleetBuilder(seed=7, deployment_window=(-900.0, 0.0))
+        .build_columns(scale_machines)
+    )
+    snapshot = fleet_shm.publish(scale_columns)
+    try:
+        attached = fleet_shm.attach(snapshot.handle)
+        snapshot_bytes = snapshot.handle.snapshot_bytes
+        scale_screen_s, scale_result = _timed(
+            lambda: FleetScreener(distilled, env_boost=6.0).screen(
+                attached.columns, 30.0, np.random.default_rng(0)
+            )
+        )
+        full_screen_s, full_result = _timed(
+            lambda: FleetScreener(full, env_boost=6.0).screen(
+                attached.columns, 30.0, np.random.default_rng(0)
+            )
+        )
+        scale_cores = attached.columns.n_cores
+        scale_mercurial = attached.columns.n_mercurial
+        attached.close()
+    finally:
+        snapshot.close()
+
+    return BenchScorecard(
+        bench_id="e19",
+        title="E19 fleet screening grid (serial vs engine, invariance-gated)",
+        scale=scale,
+        workers=workers,
+        wall_s=wall_s,
+        baseline_wall_s=baseline_s,
+        speedup=baseline_s / max(wall_s, 1e-9),
+        trials=cells,
+        trials_per_s=cells / max(wall_s, 1e-9),
+        ticks=total_ticks,
+        ticks_per_s=total_ticks / max(wall_s, 1e-9),
+        baseline_ticks_per_s=total_ticks / max(baseline_s, 1e-9),
+        tick_speedup=baseline_s / max(wall_s, 1e-9),
+        metrics={
+            "n_machines": n_machines,
+            "horizon_days": horizon,
+            "budgets": fanned["budgets"],
+            "prevalence_scales": fanned["prevalence_scales"],
+            "corpora": fanned["corpora"],
+            "worker_invariant": serial_fp == fanned_fp,
+            "grid_fingerprint": fanned_fp,
+            "distilled_cheaper_at_equal_coverage":
+                fanned["distilled_cheaper_at_equal_coverage"],
+            "distilled_detects_no_less": fanned["distilled_detects_no_less"],
+            "budget_buys_detection": fanned["budget_buys_detection"],
+            "full_battery_ops": full.total_ops,
+            "distilled_battery_ops": distilled.total_ops,
+            "distilled_battery_tests": len(distilled.tests),
+            "distilled_coverage": distilled.coverage_fraction,
+            "scale_n_machines": scale_machines,
+            "scale_n_cores": scale_cores,
+            "scale_n_mercurial": scale_mercurial,
+            "scale_build_s": scale_build_s,
+            "scale_screen_s": scale_screen_s,
+            "scale_cores_per_s": scale_result.n_screened
+            / max(scale_screen_s, 1e-9),
+            "scale_n_screened": scale_result.n_screened,
+            "scale_machine_seconds": scale_result.machine_seconds,
+            "scale_full_screen_s": full_screen_s,
+            "scale_full_machine_seconds": full_result.machine_seconds,
+            "snapshot_bytes": snapshot_bytes,
+        },
+    )
+
+
 def bench_obs(scale: str, workers: int) -> BenchScorecard:
     """Observability overhead: REPRO_OBS=off must be (nearly) free.
 
@@ -699,6 +852,7 @@ BENCHMARKS: dict[str, tuple[str, Callable[[str, int], BenchScorecard]]] = {
     "e16": ("E16 storage campaign: uncached serial vs engine", bench_e16),
     "serve-scale": ("E17 serve-at-scale grid: serial vs engine", bench_serve_scale),
     "instrcheck": ("E18 instrcheck grid: serial vs engine", bench_instrcheck),
+    "fleetscreen": ("E19 fleet screening grid: serial vs engine", bench_fleetscreen),
     "obs": ("Observability overhead: off-mode A/A vs on", bench_obs),
 }
 

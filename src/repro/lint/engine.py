@@ -72,6 +72,7 @@ class LintConfig:
     )
     slots_modules: tuple[str, ...] = (
         "src/repro/core/events.py",
+        "src/repro/detection/fleetscreen.py",
         "src/repro/engine/runner.py",
         "src/repro/fleet/machine.py",
         "src/repro/mitigation/instrcheck/campaign.py",
@@ -84,6 +85,7 @@ class LintConfig:
         "src/repro/workloads/base.py",
     )
     percore_loop_modules: tuple[str, ...] = (
+        "src/repro/detection/fleetscreen.py",
         "src/repro/engine/runner.py",
         "src/repro/fleet/columns.py",
         "src/repro/fleet/population.py",

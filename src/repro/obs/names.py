@@ -53,6 +53,11 @@ INSTRCHECK_LAG_DROPS_TOTAL = "instrcheck_lag_drops_total"
 INSTRCHECK_REPLAYS_TOTAL = "instrcheck_replays_total"
 INSTRCHECK_QUARANTINES_TOTAL = "instrcheck_quarantines_total"
 
+FLEETSCREEN_SCREENS_TOTAL = "fleetscreen_screens_total"
+FLEETSCREEN_CONFESSIONS_TOTAL = "fleetscreen_confessions_total"
+FLEETSCREEN_BUDGET_SKIPS_TOTAL = "fleetscreen_budget_skips_total"
+FLEETSCREEN_MACHINE_SECONDS = "fleetscreen_machine_seconds"
+
 STORAGE_WRITES_TOTAL = "storage_writes_total"
 STORAGE_READS_TOTAL = "storage_reads_total"
 STORAGE_DURABLE_ESCAPES_TOTAL = "storage_durable_escapes_total"
@@ -72,6 +77,8 @@ SPAN_SERVING_AUTOSCALE = "serving.autoscale"
 SPAN_SERVING_DEGRADE = "serving.degrade"
 SPAN_INSTRCHECK_UNIT = "instrcheck.unit"
 SPAN_INSTRCHECK_REPLAY = "instrcheck.replay"
+SPAN_FLEETSCREEN_PASS = "fleetscreen.pass"
+SPAN_FLEETSCREEN_DISTILL = "fleetscreen.distill"
 SPAN_STORAGE_PUT = "storage.put"
 SPAN_STORAGE_GET = "storage.get"
 SPAN_STORAGE_QUARANTINE = "storage.quarantine"
@@ -105,6 +112,10 @@ METRIC_NAMES: frozenset[str] = frozenset({
     INSTRCHECK_LAG_DROPS_TOTAL,
     INSTRCHECK_REPLAYS_TOTAL,
     INSTRCHECK_QUARANTINES_TOTAL,
+    FLEETSCREEN_SCREENS_TOTAL,
+    FLEETSCREEN_CONFESSIONS_TOTAL,
+    FLEETSCREEN_BUDGET_SKIPS_TOTAL,
+    FLEETSCREEN_MACHINE_SECONDS,
     STORAGE_WRITES_TOTAL,
     STORAGE_READS_TOTAL,
     STORAGE_DURABLE_ESCAPES_TOTAL,
@@ -125,6 +136,8 @@ SPAN_NAMES: frozenset[str] = frozenset({
     SPAN_SERVING_DEGRADE,
     SPAN_INSTRCHECK_UNIT,
     SPAN_INSTRCHECK_REPLAY,
+    SPAN_FLEETSCREEN_PASS,
+    SPAN_FLEETSCREEN_DISTILL,
     SPAN_STORAGE_PUT,
     SPAN_STORAGE_GET,
     SPAN_STORAGE_QUARANTINE,

@@ -71,6 +71,43 @@ class TestObservabilityCatalog:
         )
 
 
+class TestScreeningGuide:
+    """SCREENING.md stays in step with the fleetscreen subsystem."""
+
+    def _doc(self) -> str:
+        return (REPO / "SCREENING.md").read_text()
+
+    def test_fleetscreen_metrics_and_spans_documented(self):
+        doc = self._doc()
+        source = (SRC / "detection" / "fleetscreen.py").read_text()
+        emitted = set(_METRIC_CALL.findall(source)) | set(
+            _SPAN_CALL.findall(source)
+        )
+        assert emitted  # regex guard: the module really instruments
+        missing = sorted(
+            name for name in emitted if f"`{name}`" not in doc
+        )
+        assert not missing, (
+            f"fleetscreen names missing from SCREENING.md: {missing}"
+        )
+
+    def test_screening_event_kinds_documented(self):
+        doc = self._doc()
+        for kind in ("FLEETSCREEN_FAIL", "RIDEALONG_SKIPPED"):
+            assert f"`{kind}`" in doc
+
+    def test_corpus_taxonomy_and_workflow_covered(self):
+        doc = self._doc()
+        # the two corpus species, the distillation entry points, and
+        # the budget knob must all be named
+        for needle in ("isa:", "lib:", "distill", "full_battery",
+                       "budget_fraction", "E19"):
+            assert needle in doc, f"SCREENING.md does not mention {needle!r}"
+
+    def test_screening_guide_linked_from_readme(self):
+        assert "SCREENING.md" in (REPO / "README.md").read_text()
+
+
 class TestGeneratedDocs:
     def test_api_docs_fresh(self):
         proc = subprocess.run(

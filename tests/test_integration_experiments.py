@@ -25,11 +25,11 @@ from repro.analysis.experiments import (
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments_registered(self):
+    def test_all_twenty_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7",
             "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-            "E16", "E17", "E18",
+            "E16", "E17", "E18", "E19",
         }
 
     def test_every_entry_has_title_and_runner(self):
