@@ -286,7 +286,7 @@ def _cmd_cases() -> int:
     for name in NAMED_CASES:
         core = Core(
             f"cases/{name}", defects=named_case(name),
-            rng=np.random.default_rng(0),
+            rng=np.random.default_rng(0),  # repro: noqa-DET004 -- operator demo listing; fixed seed so the printed case table is stable across runs
         )
         screen = corpus.screen(core, repetitions=2)
         descriptions = "; ".join(d.describe() for d in core.defects)

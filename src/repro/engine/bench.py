@@ -707,12 +707,12 @@ def bench_fleetscreen(scale: str, workers: int) -> BenchScorecard:
         snapshot_bytes = snapshot.handle.snapshot_bytes
         scale_screen_s, scale_result = _timed(
             lambda: FleetScreener(distilled, env_boost=6.0).screen(
-                attached.columns, 30.0, np.random.default_rng(0)
+                attached.columns, 30.0, np.random.default_rng(0)  # repro: noqa-DET004 -- benchmark fixture rng: fixed so the timed screen is identical across bench runs
             )
         )
         full_screen_s, full_result = _timed(
             lambda: FleetScreener(full, env_boost=6.0).screen(
-                attached.columns, 30.0, np.random.default_rng(0)
+                attached.columns, 30.0, np.random.default_rng(0)  # repro: noqa-DET004 -- benchmark fixture rng: fixed so the timed screen is identical across bench runs
             )
         )
         scale_cores = attached.columns.n_cores

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.detection.corpus import TestCorpus
-from repro.detection.screener import ScreenResult
+from repro.detection.corpus import TestCorpus  # repro: noqa-ARCH001 -- lifecycle embeds the real screening corpus so burn-in runs the production tests, not a stub
+from repro.detection.screener import ScreenResult  # repro: noqa-ARCH001 -- burn-in verdicts reuse the production ScreenResult shape end-to-end
 from repro.fleet.machine import Machine
 from repro.silicon.environment import stress_points
 

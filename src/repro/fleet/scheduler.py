@@ -20,7 +20,7 @@ from typing import Collection, Sequence
 
 import numpy as np
 
-from repro.detection.quarantine import heuristic_safe_op_mix
+from repro.detection.quarantine import heuristic_safe_op_mix  # repro: noqa-ARCH001 -- the scheduler steers suspect cores onto the same safe mix the quarantine policy defines, by design
 from repro.fleet.columns import FleetColumns
 from repro.fleet.machine import Machine
 from repro.silicon.core import Core

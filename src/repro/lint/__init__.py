@@ -15,8 +15,14 @@ Rule pack (see CONTRIBUTING.md "Static analysis & invariants"):
 - ``DET001`` — no module-level RNG state; thread seeded Generators.
 - ``DET002`` — no wall-clock reads outside the benchmarking layer.
 - ``DET003`` — no set iteration feeding ordered results.
+- ``DET004`` — RNG/SeedSequence seeds trace to the trial seed
+  (dataflow taint over :mod:`repro.lint.dataflow`).
 - ``SAFE001`` — every ``EventKind`` has a suspicion weight.
 - ``SAFE002`` — emitted metric/span names are declared constants.
+- ``OBS003`` — every declared obs name is emitted somewhere.
+- ``SHM001`` — no writes through snapshot-attached fleet views.
+- ``ARCH001`` — module-level imports respect the package layer DAG
+  (:mod:`repro.lint.importgraph`).
 - ``PERF001`` — hot-path dataclasses declare ``__slots__``.
 - ``API001`` — no mutable default arguments.
 
@@ -47,7 +53,10 @@ from repro.lint.engine import (  # noqa: F401
 
 # importing the rule modules populates the registry
 from repro.lint import rules_api  # noqa: F401,E402
+from repro.lint import rules_arch  # noqa: F401,E402
 from repro.lint import rules_det  # noqa: F401,E402
+from repro.lint import rules_flow  # noqa: F401,E402
+from repro.lint import rules_obs  # noqa: F401,E402
 from repro.lint import rules_perf  # noqa: F401,E402
 from repro.lint import rules_safe  # noqa: F401,E402
 

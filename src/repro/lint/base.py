@@ -26,6 +26,7 @@ from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.lint.engine import LintConfig
+    from repro.lint.importgraph import ImportGraph
 
 
 @dataclasses.dataclass(slots=True)
@@ -57,6 +58,14 @@ class ProjectContext:
         self.root = root
         self.config = config
         self._trees: dict[str, ast.Module | None] = {}
+        self._import_graph: "ImportGraph | None" = None
+
+    def import_graph(self) -> "ImportGraph":
+        """The src/repro module-level import graph, built lazily once."""
+        if self._import_graph is None:
+            from repro.lint.importgraph import ImportGraph
+            self._import_graph = ImportGraph.build(self.root)
+        return self._import_graph
 
     def parse(self, rel_path: str) -> ast.Module | None:
         """Parsed AST for ``rel_path`` under the root, or None."""
@@ -115,14 +124,16 @@ class Rule:
 
     def make(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         """Finding at ``node``'s location in ``ctx``'s file."""
+        line = getattr(node, "lineno", 1)
         return Finding(
             rule_id=self.rule_id,
             path=ctx.rel_path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             message=message,
             hint=self.hint,
             severity=self.severity,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
 
 

@@ -1,0 +1,195 @@
+"""Content-hash incremental cache: re-lint only what changed.
+
+Per-file findings are pure functions of ``(file source, rule pack,
+config, project inputs)``, so a warm run can skip every file whose
+inputs are byte-identical to the last run.  Two hash layers enforce
+that honestly:
+
+- the **inputs fingerprint** covers the rule-pack version, the
+  ``repr`` of the :class:`~repro.lint.engine.LintConfig`, the lint
+  package's own ``*.py`` sources, and the project files the rules read
+  (events/weights/obs-names modules).  Any change invalidates the
+  whole cache — a rule edit must never serve stale findings.
+- each **file entry** is keyed by the SHA-256 of that file's source;
+  an edited file simply misses and re-lints.
+
+Project rules (SAFE001/SAFE002/OBS003) are *not* cached — they read
+cross-file state and are cheap relative to the per-file AST pass — so
+the cache stores only file-rule output: kept findings plus the rule
+ids of noqa-suppressed ones (needed so ``--statistics`` is identical
+for cold and warm runs).
+
+The cache lives at ``.repro-lint-cache.json`` in the scan root; it is
+a derived artifact (gitignored) and corruption of any kind degrades to
+an empty cache, never to an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.engine import LintConfig
+
+#: bump when rule semantics change without a source diff (e.g. a
+#: table baked into a published wheel); also the SARIF tool version
+PACK_VERSION = "2.0"
+
+#: default cache file name, relative to the scan root
+CACHE_FILENAME = ".repro-lint-cache.json"
+
+#: on-disk schema version of the cache file itself
+_SCHEMA = 1
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 hex digest of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def inputs_fingerprint(root: Path, config: "LintConfig") -> str:
+    """One digest over everything that can change a file's findings.
+
+    Covers the pack version, the config repr (tables like
+    ``layers`` and ``slots_modules`` live there), every ``*.py``
+    source in this package (a rule edit invalidates wholesale), and
+    the project input files named by the config.
+    """
+    digest = hashlib.sha256()
+
+    def feed(data: bytes) -> None:
+        digest.update(data)
+        digest.update(b"\x00")
+
+    feed(PACK_VERSION.encode("utf-8"))
+    feed(repr(config).encode("utf-8"))
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.glob("*.py")):
+        feed(path.name.encode("utf-8"))
+        feed(path.read_bytes())
+    for rel in (
+        config.events_path, config.weights_path, config.obs_names_path,
+    ):
+        feed(rel.encode("utf-8"))
+        try:
+            feed((root / rel).read_bytes())
+        except OSError:
+            feed(b"<absent>")
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(slots=True)
+class FileEntry:
+    """Cached file-rule output for one source state of one file."""
+
+    source_sha: str
+    findings: list[Finding]
+    suppressed: list[str]    # rule ids the file's noqa comments dropped
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "source_sha": self.source_sha,
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": list(self.suppressed),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "FileEntry":
+        findings = payload.get("findings")
+        suppressed = payload.get("suppressed")
+        if not isinstance(findings, list) or not isinstance(suppressed, list):
+            raise ValueError("malformed cache entry")
+        return cls(
+            source_sha=str(payload["source_sha"]),
+            findings=[Finding.from_json(row) for row in findings],
+            suppressed=[str(rule_id) for rule_id in suppressed],
+        )
+
+
+@dataclasses.dataclass
+class LintCache:
+    """The warm-run store: inputs fingerprint plus per-file entries."""
+
+    inputs: str
+    files: dict[str, FileEntry] = dataclasses.field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @classmethod
+    def load(cls, path: Path, inputs: str) -> "LintCache":
+        """Read a cache usable under ``inputs``; empty on any mismatch.
+
+        A missing file, bad JSON, wrong schema, a different inputs
+        fingerprint, or a malformed entry all degrade to a cold cache
+        — the cache can cost a re-lint, never a wrong answer.
+        """
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return cls(inputs=inputs)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != _SCHEMA
+            or payload.get("inputs") != inputs
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return cls(inputs=inputs)
+        files: dict[str, FileEntry] = {}
+        for rel, entry in payload["files"].items():
+            try:
+                files[rel] = FileEntry.from_json(entry)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return cls(inputs=inputs, files=files)
+
+    def get(self, rel: str, digest: str) -> FileEntry | None:
+        """The entry for ``rel`` if its source is unchanged, else None."""
+        entry = self.files.get(rel)
+        if entry is not None and entry.source_sha == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(
+        self, rel: str, digest: str,
+        findings: list[Finding], suppressed: list[str],
+    ) -> None:
+        self.files[rel] = FileEntry(
+            source_sha=digest,
+            findings=list(findings),
+            suppressed=list(suppressed),
+        )
+
+    def save(self, path: Path) -> None:
+        """Persist (best-effort: an unwritable cache is not an error)."""
+        payload = {
+            "schema": _SCHEMA,
+            "inputs": self.inputs,
+            "files": {
+                rel: self.files[rel].to_json()
+                for rel in sorted(self.files)
+            },
+        }
+        try:
+            path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
+        except OSError:
+            pass
+
+
+__all__ = [
+    "CACHE_FILENAME",
+    "FileEntry",
+    "LintCache",
+    "PACK_VERSION",
+    "inputs_fingerprint",
+    "source_digest",
+]

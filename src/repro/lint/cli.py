@@ -5,13 +5,19 @@ Usage::
     repro lint                         # src tests benchmarks scripts
     repro lint src/repro/serving       # narrow to a subtree
     repro lint --json                  # machine-readable findings
+    repro lint --sarif out.sarif       # SARIF 2.1.0 (code scanning)
     repro lint --write-baseline        # grandfather current findings
+    repro lint --prune-baseline        # drop stale baseline entries
     repro lint --no-baseline           # pretend the baseline is empty
     repro lint --select DET001,API001  # one or a few rules
+    repro lint --workers 4             # parallel per-file pass
+    repro lint --statistics            # per-rule / per-phase accounting
     repro lint --list-rules            # the registered rule pack
 
-Exit status: 0 clean (every finding baselined or suppressed), 1 new
-findings, 2 usage error.
+A warm run re-lints only files whose content changed (the cache lives
+at ``.repro-lint-cache.json`` under ``--root``; ``--no-cache`` forces
+a cold run).  Exit status: 0 clean (every finding baselined or
+suppressed), 1 new findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -22,7 +28,9 @@ import sys
 from pathlib import Path
 
 from repro.lint import baseline as baseline_mod
+from repro.lint import sarif as sarif_mod
 from repro.lint.base import RULES, all_rules
+from repro.lint.cache import CACHE_FILENAME
 from repro.lint.engine import LintConfig, run_lint
 
 #: what ``repro lint`` scans when no paths are given
@@ -43,6 +51,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="print structured findings instead of human-readable lines",
     )
     parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write findings as SARIF 2.1.0 ('-' for stdout)",
+    )
+    parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
         help=f"baseline file (default: {DEFAULT_BASELINE})",
     )
@@ -55,12 +67,32 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="rewrite the baseline from the current findings and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline keeping only still-matching entries",
+    )
+    parser.add_argument(
         "--select", default=None, metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
         "--root", default=".", metavar="DIR",
         help="directory findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for the per-file pass (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=f"skip the incremental cache ({CACHE_FILENAME})",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print per-rule and per-phase accounting to stderr",
+    )
+    parser.add_argument(
+        "--statistics-json", default=None, metavar="FILE",
+        help="write the statistics payload as JSON (CI artifact)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -106,6 +138,10 @@ def run(args: argparse.Namespace) -> int:
         print(f"repro lint: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
         return 2
+    if args.prune_baseline and args.no_baseline:
+        print("repro lint: --prune-baseline needs the baseline "
+              "(drop --no-baseline)", file=sys.stderr)
+        return 2
 
     config = LintConfig(select=_resolve_select(args.select))
     baseline_path = root / args.baseline
@@ -118,7 +154,11 @@ def run(args: argparse.Namespace) -> int:
                 print(f"repro lint: {exc}", file=sys.stderr)
                 return 2
 
-    result = run_lint(paths, root=root, config=config, baseline=baseline)
+    result = run_lint(
+        paths, root=root, config=config, baseline=baseline,
+        workers=args.workers,
+        cache_path=None if args.no_cache else root / CACHE_FILENAME,
+    )
 
     if args.write_baseline:
         baseline_mod.save(baseline_path, result.new)
@@ -129,9 +169,36 @@ def run(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        # grandfathered == exactly the baseline entries that still
+        # match, so re-saving them IS the pruned baseline
+        baseline_mod.save(baseline_path, result.grandfathered)
+        print(
+            f"pruned {baseline_path}: {result.stale_baseline} stale "
+            f"entr{'y' if result.stale_baseline == 1 else 'ies'} "
+            f"removed, {len(result.grandfathered)} kept",
+            file=sys.stderr,
+        )
+
+    if args.sarif is not None:
+        payload = sarif_mod.to_sarif(result, config)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.sarif == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.sarif).write_text(text)
+
+    if args.statistics_json is not None and result.stats is not None:
+        Path(args.statistics_json).write_text(
+            json.dumps(result.stats.to_json(), indent=2, sort_keys=True)
+            + "\n"
+        )
+
     if args.json:
         json.dump(result.to_json(), sys.stdout, indent=2, sort_keys=True)
         print()
+        if args.statistics and result.stats is not None:
+            print(result.stats.render(), file=sys.stderr)
         return result.exit_status
 
     for finding in result.new:
@@ -144,6 +211,16 @@ def run(args: argparse.Namespace) -> int:
         f"{result.suppressed} suppressed"
     )
     print(summary, file=sys.stderr)
+    if result.stale_baseline and not args.prune_baseline:
+        print(
+            f"note: {result.stale_baseline} baseline entr"
+            f"{'y' if result.stale_baseline == 1 else 'ies'} no longer "
+            "match(es) any finding; tighten the ratchet with "
+            "--prune-baseline",
+            file=sys.stderr,
+        )
+    if args.statistics and result.stats is not None:
+        print(result.stats.render(), file=sys.stderr)
     return result.exit_status
 
 

@@ -1,0 +1,385 @@
+"""Intraprocedural def-use / taint walker shared by dataflow rules.
+
+The paper's framing applies to lint rules too: a per-statement pattern
+match is a *convention check*, but the invariants this repo actually
+cares about — "this Generator's seed derives from the trial seed",
+"this array is a read-only shm view" — are properties of *def-use
+chains*.  This module provides the one walker several rules share, so
+each rule only declares *what taints* (its :class:`TaintPolicy`) and
+*what to look for* (its statement hook), not how propagation works.
+
+Propagation model (deliberately lint-grade, documented approximations):
+
+- **Assignment**: ``x = expr`` taints ``x`` iff ``expr`` is tainted;
+  tuple unpacking taints every target; ``x = clean`` *kills* taint.
+- **Call arguments**: a call is tainted when any positional/keyword
+  argument is tainted, or when its function is an attribute of a
+  tainted object (``rng.integers(...)``, ``seq.spawn(...)``) — unless
+  the policy's :meth:`TaintPolicy.call_override` says otherwise.
+- **Attribute access**: policy-controlled — the seed rule treats any
+  attribute load as a config-field source, the shm rule propagates the
+  base object's taint (``attached.columns``).
+- **Containers / operators**: subscripts, BinOp/UnaryOp, tuples,
+  lists, conditional expressions, starred and f-string pieces all
+  propagate the union of their operands' taint.
+- **Branches**: ``if``/``try`` arms are analyzed against a copy of the
+  environment and merged as a *union* (tainted-in-either-arm counts),
+  which favors false negatives over false positives.
+- **Loops**: bodies are walked once, in program order.  A name that
+  only becomes tainted on a later line of the same loop body is not
+  seen by earlier sites — acceptable for the shapes this repo writes.
+- **Scopes**: each function/lambda starts from a copy of the
+  *enclosing* environment (closure reads see outer locals), then its
+  parameters rebind — tainted per the policy, clean otherwise.
+  Comprehensions extend a local copy of the current environment with
+  their generator targets.  Taint never flows back out of a scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+
+@dataclasses.dataclass
+class TaintEnv:
+    """Mutable set of tainted names for one lexical scope."""
+
+    tainted: set[str] = dataclasses.field(default_factory=set)
+
+    def copy(self) -> "TaintEnv":
+        return TaintEnv(set(self.tainted))
+
+    def merge(self, *others: "TaintEnv") -> None:
+        """Union-merge branch environments back into this one."""
+        for other in others:
+            self.tainted |= other.tainted
+
+
+def _stmt_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The expression parts directly owned by one statement.
+
+    Nested statement bodies are deliberately excluded — every
+    statement gets its own :meth:`TaintPolicy.visit_statement` call.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from stmt.decorator_list
+        yield from (d for d in stmt.args.defaults)
+        yield from (d for d in stmt.args.kw_defaults if d is not None)
+    elif isinstance(stmt, ast.ClassDef):
+        yield from stmt.decorator_list
+        yield from stmt.bases
+        yield from (kw.value for kw in stmt.keywords)
+    elif isinstance(stmt, ast.Assign):
+        yield from stmt.targets
+        yield stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        yield stmt.target
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.AugAssign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.While, ast.If)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(stmt, (ast.Expr, ast.Return)):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.Raise):
+        if stmt.exc is not None:
+            yield stmt.exc
+        if stmt.cause is not None:
+            yield stmt.cause
+    elif isinstance(stmt, ast.Assert):
+        yield stmt.test
+        if stmt.msg is not None:
+            yield stmt.msg
+    elif isinstance(stmt, ast.Delete):
+        yield from stmt.targets
+
+
+class TaintPolicy:
+    """What a rule considers a taint source; subclass per rule.
+
+    The default answers make nothing a source, so a bare policy taints
+    nothing and a subclass opts into exactly the sources it means.
+    """
+
+    def param_source(self, name: str) -> bool:
+        """Is binding ``name`` as a function parameter a source?"""
+        return False
+
+    def name_source(self, name: str) -> bool:
+        """Is a bare name a source regardless of assignments?"""
+        return False
+
+    def attribute_load(self, node: ast.Attribute, base_tainted: bool) -> bool:
+        """Taint of an attribute *read* (``x.y``)."""
+        return base_tainted
+
+    def call_override(self, node: ast.Call) -> bool | None:
+        """Fixed taint for a call, or None to use argument propagation.
+
+        Returning False models taint *kills* (``columns.thaw()`` is a
+        private copy); returning True models taint *sources*
+        (``shm.attach(handle)``).
+        """
+        return None
+
+    def visit_statement(
+        self, stmt: ast.stmt, env: TaintEnv, flow: "Dataflow"
+    ) -> None:
+        """Hook called for every statement with the env in effect."""
+
+
+class Dataflow:
+    """Run a :class:`TaintPolicy` over one parsed module."""
+
+    def __init__(self, policy: TaintPolicy) -> None:
+        self.policy = policy
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self, tree: ast.Module) -> None:
+        self._walk_body(tree.body, TaintEnv())
+
+    # -- expression taint ---------------------------------------------
+
+    def taint(self, node: ast.expr | None, env: TaintEnv) -> bool:
+        """Is ``node`` tainted under ``env``?"""
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in env.tainted or self.policy.name_source(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.policy.attribute_load(
+                node, self.taint(node.value, env)
+            )
+        if isinstance(node, ast.Call):
+            override = self.policy.call_override(node)
+            if override is not None:
+                return override
+            if any(self.taint(arg, env) for arg in node.args):
+                return True
+            if any(self.taint(kw.value, env) for kw in node.keywords):
+                return True
+            # a method call on a tainted object yields tainted data
+            # (rng.integers(...), seq.spawn(...)[0], ...)
+            if isinstance(node.func, ast.Attribute):
+                return self.taint(node.func.value, env)
+            return False
+        if isinstance(node, ast.Subscript):
+            return self.taint(node.value, env)
+        if isinstance(node, ast.BinOp):
+            return self.taint(node.left, env) or self.taint(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            return self.taint(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            return any(self.taint(value, env) for value in node.values)
+        if isinstance(node, ast.IfExp):
+            return self.taint(node.body, env) or self.taint(node.orelse, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.taint(elt, env) for elt in node.elts)
+        if isinstance(node, ast.Starred):
+            return self.taint(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            tainted = self.taint(node.value, env)
+            self._bind(node.target, tainted, env)
+            return tainted
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            inner = self._comp_env(node.generators, env)
+            return self.taint(node.elt, inner)
+        if isinstance(node, ast.DictComp):
+            inner = self._comp_env(node.generators, env)
+            return self.taint(node.key, inner) or self.taint(
+                node.value, inner
+            )
+        return False
+
+    def iter_calls(
+        self, node: ast.expr | ast.stmt, env: TaintEnv
+    ) -> Iterator[tuple[ast.Call, TaintEnv]]:
+        """Every Call in ``node``'s own expressions, with its env.
+
+        Given a statement, only its *immediate* expression parts are
+        scanned — nested statement bodies (loop/if/function bodies)
+        get their own :meth:`TaintPolicy.visit_statement` callbacks,
+        so scanning them here would double-report.  Comprehension
+        bodies are yielded under a generator-extended environment;
+        a ``lambda`` body is yielded under the lambda's own scope
+        (params tainted per the policy, defaults in the outer scope).
+        """
+        if isinstance(node, ast.stmt):
+            roots: list[ast.expr] = list(_stmt_exprs(node))
+        else:
+            roots = [node]
+        stack: list[tuple[ast.AST, TaintEnv]] = [
+            (root, env) for root in roots
+        ]
+        while stack:
+            current, current_env = stack.pop()
+            if isinstance(current, ast.Lambda):
+                for default in [
+                    *current.args.defaults, *current.args.kw_defaults,
+                ]:
+                    if default is not None:
+                        stack.append((default, current_env))
+                stack.append(
+                    (current.body, self._scope_env(current, current_env))
+                )
+                continue
+            if isinstance(
+                current,
+                (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+            ):
+                current_env = self._comp_env(current.generators, current_env)
+            if isinstance(current, ast.Call):
+                yield current, current_env
+            for child in ast.iter_child_nodes(current):
+                stack.append((child, current_env))
+
+    # -- scope / statement walking ------------------------------------
+
+    def _comp_env(
+        self, generators: list[ast.comprehension], env: TaintEnv
+    ) -> TaintEnv:
+        inner = env.copy()
+        for gen in generators:
+            self._bind(gen.target, self.taint(gen.iter, inner), inner)
+        return inner
+
+    def _bind(
+        self, target: ast.expr, tainted: bool, env: TaintEnv
+    ) -> None:
+        """Assign taint to a binding target (Name / Tuple / Starred)."""
+        if isinstance(target, ast.Name):
+            if tainted:
+                env.tainted.add(target.id)
+            else:
+                env.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tainted, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tainted, env)
+        # Attribute / Subscript stores mutate objects, not names —
+        # nothing to bind in a name environment.
+
+    def _scope_env(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+        outer: TaintEnv,
+    ) -> TaintEnv:
+        """Environment for a function scope: closure copy, params rebind."""
+        env = outer.copy()
+        args = node.args
+        params = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for param in params:
+            if self.policy.param_source(param.arg):
+                env.tainted.add(param.arg)
+            else:
+                env.tainted.discard(param.arg)
+        return env
+
+    def _enter_scope(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+        outer: TaintEnv,
+    ) -> None:
+        env = self._scope_env(node, outer)
+        args = node.args
+        # default expressions evaluate in the *outer* scope
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None:
+                self.taint(default, outer)
+        if isinstance(node, ast.Lambda):
+            self.taint(node.body, env)
+        else:
+            self._walk_body(node.body, env)
+
+    def _walk_body(self, body: list[ast.stmt], env: TaintEnv) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, env)
+
+    def _walk_stmt(self, stmt: ast.stmt, env: TaintEnv) -> None:
+        self.policy.visit_statement(stmt, env, self)
+        self._visit_nested_lambdas(stmt, env)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._enter_scope(stmt, env)
+        elif isinstance(stmt, ast.ClassDef):
+            class_env = env.copy()
+            self._walk_body(stmt.body, class_env)
+        elif isinstance(stmt, ast.Assign):
+            tainted = self.taint(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, tainted, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.taint(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            tainted = self.taint(stmt.value, env) or self.taint(
+                stmt.target, env
+            )
+            self._bind(stmt.target, tainted, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self.taint(stmt.iter, env), env)
+            self._walk_body(stmt.body, env)
+            self._walk_body(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.taint(stmt.test, env)
+            self._walk_body(stmt.body, env)
+            self._walk_body(stmt.orelse, env)
+        elif isinstance(stmt, ast.If):
+            self.taint(stmt.test, env)
+            branches = []
+            for arm in (stmt.body, stmt.orelse):
+                arm_env = env.copy()
+                self._walk_body(arm, arm_env)
+                branches.append(arm_env)
+            env.merge(*branches)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tainted = self.taint(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tainted, env)
+            self._walk_body(stmt.body, env)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            arms = []
+            for arm_body in (
+                stmt.body, *[h.body for h in stmt.handlers],
+                stmt.orelse, stmt.finalbody,
+            ):
+                arm_env = env.copy()
+                self._walk_body(arm_body, arm_env)
+                arms.append(arm_env)
+            env.merge(*arms)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self.taint(stmt.value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._bind(target, False, env)
+
+    def _visit_nested_lambdas(self, stmt: ast.stmt, env: TaintEnv) -> None:
+        """Lambdas embedded in this statement's expressions get a scope."""
+        for root in _stmt_exprs(stmt):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Lambda):
+                    self._enter_scope(node, env)
+
+
+__all__ = ["Dataflow", "TaintEnv", "TaintPolicy"]

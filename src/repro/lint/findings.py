@@ -41,6 +41,14 @@ class Finding:
     message: str
     hint: str
     severity: Severity = Severity.ERROR
+    #: last source line of the reported node (== line for single-line
+    #: findings); ``# repro: noqa`` matches anywhere in line..end_line
+    end_line: int = 0
+
+    @property
+    def last_line(self) -> int:
+        """End of the reported node's line range (never before line)."""
+        return max(self.line, self.end_line)
 
     @property
     def fingerprint(self) -> str:
@@ -61,10 +69,25 @@ class Finding:
             "severity": self.severity.value,
             "path": self.path,
             "line": self.line,
+            "end_line": self.last_line,
             "col": self.col,
             "message": self.message,
             "hint": self.hint,
         }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_json` (used by the incremental cache)."""
+        return cls(
+            rule_id=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),          # type: ignore[arg-type]
+            col=int(payload["col"]),            # type: ignore[arg-type]
+            message=str(payload["message"]),
+            hint=str(payload["hint"]),
+            severity=Severity(payload["severity"]),
+            end_line=int(payload.get("end_line", 0)),  # type: ignore[arg-type]
+        )
 
 
 def sort_findings(findings: list[Finding]) -> list[Finding]:

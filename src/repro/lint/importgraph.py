@@ -1,0 +1,173 @@
+"""Project import graph: which ``repro`` module imports which.
+
+Built once per lint invocation (cached on the
+:class:`~repro.lint.base.ProjectContext`) and shared by the project
+rules: ``ARCH001`` checks each edge against the layer DAG in
+:class:`~repro.lint.engine.LintConfig`, and ``OBS003`` uses the module
+set as its scan universe.  Edges record *module-level* imports only —
+a function-local ``import`` is the sanctioned way to defer a
+dependency (it cannot deadlock package import and expresses "used
+lazily, not structurally"), and imports under ``if TYPE_CHECKING:``
+never execute at runtime at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterator
+
+#: directories never descended into during graph discovery
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportEdge:
+    """One module-level import of a ``repro`` module."""
+
+    module: str        # imported module, e.g. "repro.detection.signals"
+    line: int
+    col: int
+    end_line: int = 0  # last line of the import statement
+
+
+def module_name(rel_path: str) -> str | None:
+    """Dotted module for a repo-relative path, or None outside src/.
+
+    ``src/repro/fleet/shm.py`` -> ``repro.fleet.shm``;
+    ``src/repro/__init__.py`` -> ``repro``.
+    """
+    parts = rel_path.split("/")
+    if parts[:1] != ["src"] or not rel_path.endswith(".py"):
+        return None
+    dotted = parts[1:]
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) if dotted else None
+
+
+def top_package(module: str) -> str | None:
+    """The layer-granularity package of a ``repro`` module.
+
+    ``repro.fleet.shm`` -> ``fleet``; top-level modules map to
+    themselves (``repro.chaos`` -> ``chaos``, ``repro.cli`` ->
+    ``cli``); the bare root package returns None.
+    """
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _module_level_stmts(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into if/try wrappers.
+
+    ``if TYPE_CHECKING:`` bodies are skipped — those imports never run.
+    Function and class bodies are *not* descended into: imports there
+    are deferred by construction.
+    """
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        if _is_type_checking_guard(stmt):
+            stack.extend(stmt.orelse)
+            continue
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            continue
+        if isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            continue
+        yield stmt
+
+
+def module_imports(tree: ast.Module) -> list[ImportEdge]:
+    """Module-level ``repro`` imports of one parsed file.
+
+    ``from repro import obs`` resolves per-alias to ``repro.obs``;
+    ``from repro.fleet import columns`` records ``repro.fleet`` (the
+    package boundary is what layering cares about).
+    """
+    edges: list[ImportEdge] = []
+    for stmt in _module_level_stmts(tree):
+        end = getattr(stmt, "end_lineno", None) or stmt.lineno
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    edges.append(ImportEdge(
+                        alias.name, stmt.lineno, stmt.col_offset, end,
+                    ))
+        elif isinstance(stmt, ast.ImportFrom) and stmt.level == 0:
+            module = stmt.module or ""
+            if module == "repro":
+                for alias in stmt.names:
+                    edges.append(ImportEdge(
+                        f"repro.{alias.name}", stmt.lineno,
+                        stmt.col_offset, end,
+                    ))
+            elif module.startswith("repro."):
+                edges.append(
+                    ImportEdge(module, stmt.lineno, stmt.col_offset, end)
+                )
+    return edges
+
+
+@dataclasses.dataclass
+class ImportGraph:
+    """All ``src/repro`` modules and their module-level import edges."""
+
+    #: rel_path -> dotted module name, sorted iteration order
+    modules: dict[str, str]
+    #: rel_path -> module-level repro imports
+    edges: dict[str, list[ImportEdge]]
+
+    @classmethod
+    def build(cls, root: Path) -> "ImportGraph":
+        modules: dict[str, str] = {}
+        edges: dict[str, list[ImportEdge]] = {}
+        package_root = root / "src" / "repro"
+        if not package_root.is_dir():
+            return cls(modules, edges)
+        for path in sorted(package_root.rglob("*.py")):
+            if _SKIP_DIRS.intersection(path.parts):
+                continue
+            rel = path.relative_to(root).as_posix()
+            dotted = module_name(rel)
+            if dotted is None:
+                continue
+            modules[rel] = dotted
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except (OSError, SyntaxError):
+                edges[rel] = []
+                continue
+            edges[rel] = module_imports(tree)
+        return cls(modules, edges)
+
+
+__all__ = [
+    "ImportEdge",
+    "ImportGraph",
+    "module_imports",
+    "module_name",
+    "top_package",
+]

@@ -1,0 +1,114 @@
+"""Architecture rule (ARCH001): the layer DAG has no back-edges.
+
+The repo's package layering — ``core/obs`` at the bottom, then
+``silicon``/``fleet``, then ``workloads``, then the campaign layers
+(``detection``/``mitigation``/``serving``/``storage``/``chaos``),
+then ``engine``, ``analysis``, and finally the operator surface
+(``cli``/``lint``) — was until now a convention in DESIGN.md §4 that
+nothing checked, exactly the failure mode the paper warns about.
+ARCH001 makes it a contract: the table lives in
+:attr:`~repro.lint.engine.LintConfig.layers` and every *module-level*
+import must point at the same or a lower layer.
+
+Escapes, in preference order: (1) restructure so the dependency
+points downward; (2) defer with a function-local import (the edge
+becomes lazy and leaves the module import graph); (3) annotate a
+deliberate upward edge with ``# repro: noqa-ARCH001 -- <why>`` on the
+import line — the documented-embed pattern the fleet simulator uses
+for the real detection stack it drives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lint.base import FileContext, FileRule, register
+from repro.lint.findings import Finding
+from repro.lint.importgraph import (
+    ImportEdge,
+    module_imports,
+    module_name,
+    top_package,
+)
+
+
+@register
+class LayerDagRule(FileRule):
+    """ARCH001: module-level imports respect the layer DAG."""
+
+    rule_id = "ARCH001"
+    title = "module-level imports respect the package layer DAG"
+    hint = (
+        "point the dependency downward, defer it with a "
+        "function-local import, or mark a deliberate embed with "
+        "'# repro: noqa-ARCH001 -- <why>'; the layer table is "
+        "LintConfig.layers (documented in DESIGN.md)"
+    )
+    src_only = True
+
+    def _layer_index(self, ctx: FileContext) -> dict[str, int]:
+        return {
+            package: index
+            for index, layer in enumerate(ctx.config.layers)
+            for package in layer
+        }
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        dotted = module_name(ctx.rel_path)
+        if dotted is None:
+            return
+        own = top_package(dotted)
+        if own is None:
+            return                 # the bare package root (__init__.py)
+        layers = self._layer_index(ctx)
+        own_layer = layers.get(own)
+        if own_layer is None:
+            # a *subpackage* must be placed in the table; a loose
+            # top-level module (src/repro/<name>.py) is an entry-point
+            # shape and sits at the top: anything below is importable
+            if len(ctx.rel_path.split("/")) >= 4:
+                yield self.make(ctx, ctx.tree, (
+                    f"package '{own}' is not in the LintConfig.layers "
+                    "table; add it to the layer it belongs to"
+                ))
+                return
+            own_layer = len(ctx.config.layers)
+        for edge in module_imports(ctx.tree):
+            yield from self._check_edge(ctx, own, own_layer, layers, edge)
+
+    def _check_edge(
+        self, ctx: FileContext, own: str, own_layer: int,
+        layers: dict[str, int], edge: ImportEdge,
+    ) -> Iterator[Finding]:
+        target = top_package(edge.module)
+        if target is None or target == own:
+            return
+        if target not in layers:
+            yield self._edge_finding(ctx, edge, (
+                f"imported package '{target}' is not in the "
+                "LintConfig.layers table"
+            ))
+            return
+        if layers[target] > own_layer:
+            yield self._edge_finding(ctx, edge, (
+                f"'{own}' (layer {own_layer}) imports "
+                f"'{edge.module}' from higher layer {layers[target]}; "
+                "the layer DAG has no back-edges"
+            ))
+
+    def _edge_finding(
+        self, ctx: FileContext, edge: ImportEdge, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.rel_path,
+            line=edge.line,
+            col=edge.col,
+            message=message,
+            hint=self.hint,
+            severity=self.severity,
+            end_line=edge.end_line,
+        )
+
+
+__all__ = ["LayerDagRule"]

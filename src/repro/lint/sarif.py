@@ -1,0 +1,140 @@
+"""SARIF 2.1.0 export: findings in the code-scanning interchange shape.
+
+One :class:`~repro.lint.engine.LintResult` becomes one SARIF ``run``:
+the rule pack as ``tool.driver.rules`` (id, short description, full
+help text from the rule's hint), every finding as a ``result`` with a
+physical location and a ``partialFingerprints`` entry carrying the
+same line-free fingerprint the baseline uses — so a SARIF consumer's
+dedup tracks ours.  Grandfathered findings are emitted with an
+``external`` suppression rather than dropped: the honest rendering of
+"known, ratcheted, not a gate failure".
+
+Conventions pinned by ``tests/test_lint.py``:
+
+- columns are converted 0-based -> 1-based (SARIF regions are 1-based),
+- URIs are repo-relative posix paths under the ``ROOT`` uriBase,
+- ``level`` maps :class:`~repro.lint.findings.Severity` verbatim
+  (``error``/``warning`` are valid SARIF levels).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.base import all_rules
+from repro.lint.cache import PACK_VERSION
+from repro.lint.engine import PARSE_RULE_ID, LintConfig
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.engine import LintResult
+
+#: the spec version this module emits
+SARIF_VERSION = "2.1.0"
+
+#: canonical schema URI for ``$schema`` (consumers validate against it)
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: fingerprint key: versioned so a future fingerprint change can
+#: coexist with old uploads instead of silently re-opening alerts
+FINGERPRINT_KEY = "reproLint/v1"
+
+
+def _rule_descriptors(config: LintConfig | None) -> list[dict[str, object]]:
+    """``tool.driver.rules``: the pack that ran, plus the parse rule."""
+    select = config.select if config is not None else None
+    descriptors: list[dict[str, object]] = []
+    for rule in all_rules(select):
+        descriptors.append({
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {"level": rule.severity.value},
+        })
+    descriptors.append({
+        "id": PARSE_RULE_ID,
+        "shortDescription": {"text": "file parses as Python"},
+        "help": {"text": "fix the syntax error; no rules ran on this file"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    return descriptors
+
+
+def _result(
+    finding: Finding, rule_index: dict[str, int], baselined: bool
+) -> dict[str, object]:
+    message = finding.message
+    if finding.hint:
+        message = f"{finding.message}\nhint: {finding.hint}"
+    row: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "ROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                    "endLine": finding.last_line,
+                },
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+    index = rule_index.get(finding.rule_id)
+    if index is not None:
+        row["ruleIndex"] = index
+    if baselined:
+        row["suppressions"] = [{"kind": "external"}]
+    return row
+
+
+def to_sarif(
+    result: "LintResult", config: LintConfig | None = None
+) -> dict[str, object]:
+    """Render one lint invocation as a SARIF 2.1.0 log."""
+    rules = _rule_descriptors(config)
+    rule_index = {
+        str(descriptor["id"]): position
+        for position, descriptor in enumerate(rules)
+    }
+    results = [
+        _result(finding, rule_index, baselined=False)
+        for finding in result.new
+    ] + [
+        _result(finding, rule_index, baselined=True)
+        for finding in result.grandfathered
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": PACK_VERSION,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "ROOT": {"description": {"text": "repository root"}},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+__all__ = [
+    "FINGERPRINT_KEY",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "to_sarif",
+]

@@ -58,7 +58,7 @@ def freivalds_check(
     Returns True if every round agrees; a wrong C passes with
     probability at most 2**-rounds (over the random vectors).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: noqa-DET004 -- documented fallback; the trial path always passes its seeded rng
     n = len(c[0])
     for _ in range(rounds):
         r = [int(bit) for bit in rng.integers(0, 2, size=n)]
@@ -95,7 +95,7 @@ def permutation_check(
     """
     if len(original) != len(candidate):
         return False
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: noqa-DET004 -- documented fallback; the trial path always passes its seeded rng
     for _ in range(rounds):
         x = int(rng.integers(1, GF_PRIME))
         if _char_poly_eval(core, original, x) != _char_poly_eval(

@@ -92,7 +92,7 @@ class Core:
         """Defect randomness source, created on first use."""
         rng = self._rng
         if rng is None:
-            rng = self._rng = np.random.default_rng(0)
+            rng = self._rng = np.random.default_rng(0)  # repro: noqa-DET004 -- lazy fallback for cores built without an rng; trial paths inject theirs
         return rng
 
     @rng.setter

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable
+from typing import Callable, TYPE_CHECKING
 
 import numpy as np
 
 from repro.silicon.core import Core
-from repro.workloads.base import CoreLike, WorkloadResult
+
+if TYPE_CHECKING:  # annotation-only: keeps silicon below workloads
+    from repro.workloads.base import CoreLike, WorkloadResult
 
 
 def flip_random_bit(value, rng: np.random.Generator):
@@ -77,7 +79,7 @@ class FaultInjector:
         self.inner = inner
         self.core_id = f"inject({inner.core_id})"
         self.plan = plan
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)  # repro: noqa-DET004 -- documented fallback; campaigns pass a trial-derived rng
         self.op_index = -1
         self.injected = False
         self.injected_op: str | None = None
@@ -169,7 +171,7 @@ class InjectionCampaign:
         self.work = work
         if make_core is None:
             make_core = lambda: Core(  # noqa: E731 — trivial default
-                "inject/base", rng=np.random.default_rng(0)
+                "inject/base", rng=np.random.default_rng(0)  # repro: noqa-DET004 -- fixed-oracle base core: the healthy reference every injection differs from
             )
         self.make_core = make_core
 

@@ -12,10 +12,9 @@ Machine checks propagate as :class:`MachineCheckError`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 from repro.silicon.core import Core
-from repro.workloads.base import CoreLike
 from repro.silicon.isa import (
     Instruction,
     N_SCALAR_REGS,
@@ -24,6 +23,9 @@ from repro.silicon.isa import (
     core_op,
 )
 from repro.silicon.units import Op
+
+if TYPE_CHECKING:  # annotation-only: keeps silicon below workloads
+    from repro.workloads.base import CoreLike
 
 DEFAULT_MEMORY_WORDS = 4096
 DEFAULT_STEP_BUDGET = 200_000

@@ -174,7 +174,7 @@ class WorkloadMixer:
         if not specs:
             raise ValueError("need at least one workload spec")
         self.specs = specs
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)  # repro: noqa-DET004 -- documented fallback; campaigns pass a trial-derived rng
         weights = np.array([spec.weight for spec in specs], dtype=float)
         self._probabilities = weights / weights.sum()
 

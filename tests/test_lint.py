@@ -73,11 +73,13 @@ class TestDet001UnseededRandom:
         assert rule_ids(findings) == ["DET001"]
 
     def test_seeded_generator_ok(self):
+        # seed threaded from a parameter: clean for DET001 *and* DET004
         findings = lint_snippet("""
             import numpy as np
-            rng = np.random.default_rng(7)
-            seq = np.random.SeedSequence(7)
-            x = rng.integers(0, 10)
+            def make(seed):
+                rng = np.random.default_rng(seed)
+                seq = np.random.SeedSequence(seed)
+                return rng.integers(0, 10)
         """)
         assert findings == []
 
@@ -515,18 +517,20 @@ class TestCliAndJson:
         )
         assert status == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_scanned"] == 1
         assert payload["new_count"] == 1
         assert payload["baseline_used"] is False
+        assert payload["stale_baseline_count"] == 0
         (finding,) = payload["findings"]
         assert set(finding) == {
-            "rule", "severity", "path", "line", "col", "message",
-            "hint", "baselined",
+            "rule", "severity", "path", "line", "end_line", "col",
+            "message", "hint", "baselined",
         }
         assert finding["rule"] == "DET002"
         assert finding["path"] == "bad.py"
         assert finding["line"] == 2
+        assert finding["end_line"] == 2
         assert finding["baselined"] is False
 
     def test_write_then_gate_green(self, tmp_path, capsys):
@@ -569,8 +573,9 @@ class TestCliAndJson:
 class TestMetaGate:
     def test_rule_pack_has_required_families(self):
         families = {rule_id[:-3] for rule_id in RULES}
-        assert {"DET", "SAFE", "PERF", "API"} <= families
-        assert len(RULES) >= 7
+        assert {"DET", "SAFE", "PERF", "API", "ARCH", "SHM", "OBS"} \
+            <= families
+        assert len(RULES) >= 12
 
     def test_repo_is_clean_against_committed_baseline(self):
         baseline_path = REPO / "lint-baseline.json"
@@ -583,3 +588,610 @@ class TestMetaGate:
         rendered = "\n".join(f.render() for f in result.new)
         assert result.new == [], f"new lint findings:\n{rendered}"
         assert result.files_scanned > 150
+
+
+class TestDet004SeedProvenance:
+    def test_literal_seed_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+        assert "a literal" in findings[0].message
+
+    def test_no_arg_draws_os_entropy_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert rule_ids(findings) == ["DET004"]
+        assert "OS entropy" in findings[0].message
+
+    def test_untainted_local_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            def make():
+                fixed = 7
+                return np.random.default_rng(fixed)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+        assert "an untainted local" in findings[0].message
+
+    def test_config_field_seed_ok(self):
+        findings = lint_snippet("""
+            import numpy as np
+            def make(config):
+                return np.random.default_rng(config.seed)
+        """)
+        assert findings == []
+
+    def test_spawn_child_ok(self):
+        findings = lint_snippet("""
+            import numpy as np
+            def make(seq):
+                child, = seq.spawn(1)
+                return np.random.default_rng(child)
+        """)
+        assert findings == []
+
+    def test_closure_read_of_enclosing_param_ok(self):
+        findings = lint_snippet("""
+            import numpy as np
+            def outer(seed):
+                def inner():
+                    return np.random.default_rng(seed)
+                return inner
+        """)
+        assert findings == []
+
+    def test_literal_inside_lambda_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            make = lambda: np.random.default_rng(3)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_from_import_alias_flagged(self):
+        findings = lint_snippet("""
+            from numpy.random import default_rng as mk
+            rng = mk(5)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_seed_sequence_literal_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            seq = np.random.SeedSequence(1234)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_clean_reassignment_kills_taint(self):
+        # seed is rebound to a literal before use: the param taint dies
+        findings = lint_snippet("""
+            import numpy as np
+            def make(seed):
+                seed = 9
+                return np.random.default_rng(seed)
+        """)
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_tests_dir_not_in_scope(self):
+        findings = lint_snippet(
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            rel_path="tests/test_something.py",
+        )
+        assert findings == []
+
+
+class TestShm001WriteSafety:
+    def test_subscript_store_flagged(self):
+        findings = lint_snippet("""
+            from repro.fleet import shm
+            def worker(handle):
+                cols = shm.attach(handle)
+                cols.health[0] = 2
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+        assert "subscript store" in findings[0].message
+
+    def test_augmented_subscript_store_flagged(self):
+        findings = lint_snippet("""
+            from repro.fleet import shm
+            def worker(handle):
+                cols = shm.attach(handle)
+                cols.health[0] += 1
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+        assert "augmented" in findings[0].message
+
+    def test_inplace_fill_flagged(self):
+        findings = lint_snippet("""
+            from repro.fleet import shm
+            def worker(handle):
+                cols = shm.attach(handle)
+                cols.health.fill(0)
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+        assert ".fill()" in findings[0].message
+
+    def test_np_copyto_flagged(self):
+        findings = lint_snippet("""
+            import numpy as np
+            from repro.fleet import shm
+            def worker(handle, src):
+                cols = shm.attach(handle)
+                np.copyto(cols.health, src)
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+
+    def test_view_alias_carries_taint(self):
+        findings = lint_snippet("""
+            from repro.fleet import shm
+            def worker(handle):
+                cols = shm.attach(handle)
+                view = cols.health
+                view[0] = 1
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+
+    def test_thaw_kills_taint(self):
+        findings = lint_snippet("""
+            from repro.fleet import shm
+            def worker(handle):
+                cols = shm.attach(handle)
+                mine = cols.thaw()
+                mine.health[0] = 1
+        """)
+        assert findings == []
+
+    def test_from_import_attach_flagged(self):
+        findings = lint_snippet("""
+            from repro.fleet.shm import attach
+            def worker(handle):
+                cols = attach(handle)
+                cols.health[0] = 2
+        """)
+        assert rule_ids(findings) == ["SHM001"]
+
+    def test_unrelated_array_writes_ok(self):
+        findings = lint_snippet("""
+            import numpy as np
+            def work(n):
+                arr = np.zeros(n)
+                arr[0] = 1
+                arr.fill(2)
+                arr += 1
+        """)
+        assert findings == []
+
+
+class TestArch001LayerDag:
+    FLEET = "src/repro/fleet/snippet.py"
+
+    def test_back_edge_flagged(self):
+        findings = lint_snippet(
+            "from repro.engine import runner\n", rel_path=self.FLEET
+        )
+        assert rule_ids(findings) == ["ARCH001"]
+        assert "higher layer" in findings[0].message
+
+    def test_downward_edge_ok(self):
+        findings = lint_snippet(
+            "from repro.core import events\n", rel_path=self.FLEET
+        )
+        assert findings == []
+
+    def test_same_package_ok(self):
+        findings = lint_snippet(
+            "from repro.fleet import columns\n", rel_path=self.FLEET
+        )
+        assert findings == []
+
+    def test_function_local_import_is_sanctioned(self):
+        findings = lint_snippet("""
+            def late():
+                from repro.engine import runner
+                return runner
+        """, rel_path=self.FLEET)
+        assert findings == []
+
+    def test_type_checking_import_is_sanctioned(self):
+        findings = lint_snippet("""
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.engine import runner
+        """, rel_path=self.FLEET)
+        assert findings == []
+
+    def test_noqa_documents_a_deliberate_embed(self):
+        findings = lint_snippet(
+            "from repro.engine import runner"
+            "  # repro: noqa-ARCH001 -- test embed\n",
+            rel_path=self.FLEET,
+        )
+        assert findings == []
+
+    def test_unknown_imported_package_flagged(self):
+        findings = lint_snippet(
+            "from repro.mystery import thing\n", rel_path=self.FLEET
+        )
+        assert rule_ids(findings) == ["ARCH001"]
+        assert "not in the LintConfig.layers" in findings[0].message
+
+    def test_unplaced_own_subpackage_flagged(self):
+        findings = lint_snippet(
+            "x = 1\n", rel_path="src/repro/newpkg/mod.py"
+        )
+        assert rule_ids(findings) == ["ARCH001"]
+        assert "'newpkg' is not in the LintConfig.layers" \
+            in findings[0].message
+
+    def test_loose_top_level_module_sits_on_top(self):
+        # entry-point shapes (src/repro/<name>.py) may import anything
+        findings = lint_snippet(
+            "from repro.engine import runner\n",
+            rel_path="src/repro/tool.py",
+        )
+        assert findings == []
+
+
+class TestObs003DeadNames:
+    def _project(self, tmp_path: Path) -> Path:
+        obs = tmp_path / "src" / "repro" / "obs"
+        obs.mkdir(parents=True)
+        (obs / "names.py").write_text(
+            'ATTR_USED = "campaign.ticks"\n'
+            'IMPORT_USED = "core.mces"\n'
+            'VALUE_USED = "fleet.size"\n'
+            'DEAD = "campaign.never"\n'
+        )
+        (tmp_path / "src" / "repro" / "user.py").write_text(
+            "from repro.obs import names\n"
+            "from repro.obs.names import IMPORT_USED\n"
+            "def report(metrics):\n"
+            "    metrics.counter('fleet.size', 1)\n"
+            "    return names.ATTR_USED, IMPORT_USED\n"
+        )
+        return tmp_path
+
+    def test_only_dead_constant_flagged(self, tmp_path):
+        root = self._project(tmp_path)
+        result = run_lint(["src"], root=root)
+        obs3 = [f for f in result.new if f.rule_id == "OBS003"]
+        assert len(obs3) == 1
+        assert "DEAD" in obs3[0].message
+        assert obs3[0].path == "src/repro/obs/names.py"
+        assert obs3[0].line == 4
+
+    def test_quiet_without_names_module(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "mod.py").write_text("x = 1\n")
+        result = run_lint(["src"], root=tmp_path)
+        assert [f for f in result.new if f.rule_id == "OBS003"] == []
+
+
+class TestMultiLineNoqa:
+    SOURCE = (
+        "import time\n"
+        "t = time.time(\n"
+        ")  # repro: noqa-DET002 -- multi-line call, comment on last line\n"
+    )
+
+    def test_noqa_on_last_line_of_node_suppresses(self):
+        assert lint_snippet(self.SOURCE) == []
+
+    def test_wrong_rule_id_on_last_line_does_not(self):
+        source = self.SOURCE.replace("noqa-DET002", "noqa-DET001")
+        assert rule_ids(lint_snippet(source)) == ["DET002"]
+
+    def test_noqa_below_the_node_does_not_leak(self):
+        source = (
+            "import time\n"
+            "t = time.time()\n"
+            "x = 1  # repro: noqa-DET002\n"
+        )
+        assert rule_ids(lint_snippet(source)) == ["DET002"]
+
+    def test_end_line_recorded_on_finding(self):
+        (finding,) = lint_snippet(
+            "import time\nt = time.time(\n)\n"
+        )
+        assert finding.line == 2 and finding.last_line == 3
+
+
+class TestIncrementalCache:
+    def _setup(self, tmp_path: Path) -> Path:
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "b.py").write_text(
+            "import time\nu = time.time()  # repro: noqa-DET002 -- ui\n"
+        )
+        return tmp_path / "cache.json"
+
+    def _run(self, tmp_path: Path, cache: Path, **kwargs):
+        from repro.lint.stats import LintStats
+
+        stats = LintStats()
+        result = run_lint(
+            ["a.py", "b.py"], root=tmp_path, cache_path=cache,
+            stats=stats, **kwargs
+        )
+        return result, stats
+
+    def test_warm_run_hits_every_unchanged_file(self, tmp_path):
+        cache = self._setup(tmp_path)
+        cold, cold_stats = self._run(tmp_path, cache)
+        assert cold_stats.files_from_cache == 0
+        assert cache.is_file()
+        warm, warm_stats = self._run(tmp_path, cache)
+        assert warm_stats.files_from_cache == 2
+        assert warm.to_json() == cold.to_json()
+        assert warm.suppressed == cold.suppressed == 1
+
+    def test_editing_one_file_relints_only_it(self, tmp_path):
+        cache = self._setup(tmp_path)
+        self._run(tmp_path, cache)
+        (tmp_path / "b.py").write_text("x = 1\n")
+        warm, stats = self._run(tmp_path, cache)
+        # a.py unchanged -> served from cache; only b.py re-linted
+        assert stats.files_from_cache == 1
+        assert len(warm.new) == 1 and warm.suppressed == 0
+
+    def test_rule_selection_invalidates_wholesale(self, tmp_path):
+        cache = self._setup(tmp_path)
+        self._run(tmp_path, cache)
+        _, stats = self._run(
+            tmp_path, cache,
+            config=LintConfig(select=frozenset({"DET002"})),
+        )
+        assert stats.files_from_cache == 0
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        cache = self._setup(tmp_path)
+        cold, _ = self._run(tmp_path, cache)
+        cache.write_text("{not json")
+        warm, stats = self._run(tmp_path, cache)
+        assert stats.files_from_cache == 0
+        assert warm.to_json() == cold.to_json()
+
+    def test_statistics_identical_cold_and_warm(self, tmp_path):
+        cache = self._setup(tmp_path)
+        _, cold_stats = self._run(tmp_path, cache)
+        _, warm_stats = self._run(tmp_path, cache)
+        assert warm_stats.rule_findings == cold_stats.rule_findings
+        assert warm_stats.rule_suppressions == cold_stats.rule_suppressions
+        payload = warm_stats.to_json()
+        assert payload["version"] == 1
+        assert set(payload) == {"version", "files", "rules", "phases"}
+
+
+class TestParallelWorkers:
+    def test_worker_count_never_changes_the_report(self, tmp_path):
+        for index in range(4):
+            (tmp_path / f"mod{index}.py").write_text(
+                "import time\n"
+                f"t{index} = time.time()\n"
+                "x = {1, 2}\n"
+                "for item in {3, 4}:\n"
+                "    pass\n"
+            )
+        paths = [f"mod{index}.py" for index in range(4)]
+        serial = run_lint(paths, root=tmp_path, workers=1)
+        pooled = run_lint(paths, root=tmp_path, workers=2)
+        assert serial.to_json() == pooled.to_json()
+        assert len(serial.new) > 0
+
+
+#: the structural subset of the SARIF 2.1.0 schema this repo relies on
+#: (vendored: CI has no network; the full spec schema is ~250 KB)
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id", "shortDescription",
+                                            ],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId", "level", "message", "locations",
+                            ],
+                            "properties": {
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarifExport:
+    def _result(self, tmp_path: Path):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "old.py").write_text("import time\nu = time.time()\n")
+        first = run_lint(["old.py"], root=tmp_path)
+        baseline = baseline_mod.count_fingerprints(first.new)
+        return run_lint(
+            ["bad.py", "old.py"], root=tmp_path, baseline=baseline
+        )
+
+    def test_payload_validates_against_subset_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        from repro.lint.sarif import to_sarif
+
+        payload = to_sarif(self._result(tmp_path))
+        jsonschema.validate(payload, SARIF_SUBSET_SCHEMA)
+
+    def test_shape_conventions(self, tmp_path):
+        from repro.lint.sarif import FINGERPRINT_KEY, to_sarif
+
+        payload = to_sarif(self._result(tmp_path))
+        (run,) = payload["runs"]
+        rule_ids_listed = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(RULES) <= rule_ids_listed
+        assert "LINT000" in rule_ids_listed
+        assert run["columnKind"] == "utf16CodeUnits"
+        assert "ROOT" in run["originalUriBaseIds"]
+        new_row, old_row = run["results"]
+        assert new_row["ruleId"] == "DET002"
+        assert "suppressions" not in new_row
+        assert old_row["suppressions"] == [{"kind": "external"}]
+        region = new_row["locations"][0]["physicalLocation"]["region"]
+        # repro.lint columns are 0-based; SARIF regions are 1-based
+        assert region["startColumn"] >= 1
+        assert region["startLine"] == 2
+        fingerprint = new_row["partialFingerprints"][FINGERPRINT_KEY]
+        assert fingerprint.startswith("bad.py::DET002::")
+        rules_list = run["tool"]["driver"]["rules"]
+        assert rules_list[new_row["ruleIndex"]]["id"] == "DET002"
+
+    def test_cli_writes_sarif_file(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        out = tmp_path / "out.sarif"
+        status = repro_main(
+            ["lint", "bad.py", "--root", str(tmp_path), "--no-baseline",
+             "--sarif", str(out)]
+        )
+        assert status == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "DET002"
+
+
+class TestPruneBaselineAndStatistics:
+    def _grandfather(self, tmp_path: Path, capsys) -> None:
+        (tmp_path / "mod.py").write_text(
+            "import time\na = time.time()\nb = time.time()\n"
+        )
+        assert repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_stale_note_then_prune_tightens(self, tmp_path, capsys):
+        self._grandfather(tmp_path, capsys)
+        # fix one of the two grandfathered findings -> 1 stale entry
+        (tmp_path / "mod.py").write_text("import time\na = time.time()\n")
+        assert repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "no longer match" in err and "--prune-baseline" in err
+        assert repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path), "--prune-baseline"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "pruned" in err and "1 stale" in err
+        payload = json.loads(
+            (tmp_path / "lint-baseline.json").read_text()
+        )
+        assert sum(payload["findings"].values()) == 1
+        assert repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path)]
+        ) == 0
+        assert "no longer match" not in capsys.readouterr().err
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path),
+             "--prune-baseline", "--no-baseline"]
+        ) == 2
+
+    def test_statistics_table_on_stderr(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import time\nt = time.time()\n")
+        repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path), "--no-baseline",
+             "--statistics"]
+        )
+        err = capsys.readouterr().err
+        assert "lint statistics:" in err
+        assert "DET002" in err
+        assert "per phase (seconds):" in err
+
+    def test_statistics_json_artifact(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import time\nt = time.time()\n")
+        out = tmp_path / "LINT_STATS.json"
+        repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path), "--no-baseline",
+             "--statistics-json", str(out)]
+        )
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 1
+        assert payload["files"]["scanned"] == 1
+        assert payload["rules"]["DET002"]["findings"] == 1
+        assert set(payload["phases"]) >= {"discover", "files", "read"}
+
+    def test_no_cache_flag_skips_cache_file(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        repro_main(
+            ["lint", "mod.py", "--root", str(tmp_path), "--no-cache"]
+        )
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+        repro_main(["lint", "mod.py", "--root", str(tmp_path)])
+        assert (tmp_path / ".repro-lint-cache.json").exists()
